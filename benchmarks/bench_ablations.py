@@ -1,0 +1,91 @@
+"""Design-choice ablations beyond the paper's figures.
+
+DESIGN.md calls out two architectural knobs whose value the paper
+asserts but does not isolate:
+
+* the **Skip Lookup Table** (§5.3) — how much pulse-generation time
+  does reuse actually save, versus a controller that regenerates every
+  pulse (still with 8 parallel PGUs)?
+* the **PGU count** (Table 4 picks 8; §7.5 notes "pulse generation ...
+  could be further reduced by integrating additional PGUs") — how does
+  pulse-generation time scale from 1 to 16 PGUs?
+"""
+
+import pytest
+
+from common import WORKLOADS, emit, run_campaign, scaled_config
+from repro import HybridRunner, QtenonSystem
+from repro.analysis import format_table, format_time_ps
+from repro.core import QtenonConfig
+from repro.vqa import make_optimizer
+
+import dataclasses
+
+import numpy as np
+
+
+def _run_with_config(config: QtenonConfig, iterations=2):
+    workload = WORKLOADS["vqe"](64)
+    system = QtenonSystem(64, config=config, timing_only=True)
+    runner = HybridRunner(
+        system, workload.ansatz, workload.parameters, workload.observable,
+        make_optimizer("spsa"), shots=500, iterations=iterations,
+    )
+    initial = np.random.default_rng(0).uniform(-0.5, 0.5, workload.n_parameters)
+    return runner.run(initial_params=initial).report
+
+
+def bench_ablation_slt(benchmark):
+    """SLT on vs off: pulse work and pulse-generation time."""
+
+    def run():
+        base = scaled_config(64)
+        with_slt = _run_with_config(base)
+        without_slt = _run_with_config(dataclasses.replace(base, slt_enabled=False))
+        return with_slt, without_slt
+
+    with_slt, without_slt = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["configuration", "pulses generated", "pulse-gen (busy)", "SLT hit rate"],
+        [
+            ["with SLT", with_slt.pulses_generated,
+             format_time_ps(with_slt.pulse_gen_busy_ps),
+             f"{with_slt.extra['slt_hit_rate']:.0%}"],
+            ["without SLT", without_slt.pulses_generated,
+             format_time_ps(without_slt.pulse_gen_busy_ps),
+             "0%"],
+        ],
+        title="Ablation: Skip Lookup Table (64q VQE, SPSA)",
+    )
+    emit("ablation_slt", table)
+    assert without_slt.pulses_generated > with_slt.pulses_generated
+    assert without_slt.pulse_gen_busy_ps > with_slt.pulse_gen_busy_ps
+    assert without_slt.extra["slt_hit_rate"] == 0.0
+
+
+def bench_ablation_pgu_count(benchmark):
+    """Pulse-generation time vs PGU count (1, 2, 4, 8, 16)."""
+
+    def run():
+        out = {}
+        for n_pgus in (1, 2, 4, 8, 16):
+            config = dataclasses.replace(scaled_config(64), n_pgus=n_pgus)
+            out[n_pgus] = _run_with_config(config)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n_pgus, format_time_ps(report.pulse_gen_busy_ps),
+         f"{results[1].pulse_gen_busy_ps / report.pulse_gen_busy_ps:.1f}x"]
+        for n_pgus, report in sorted(results.items())
+    ]
+    table = format_table(
+        ["PGUs", "pulse-gen (busy)", "speedup vs 1 PGU"],
+        rows,
+        title="Ablation: PGU count scaling (64q VQE, SPSA; Table 4 uses 8)",
+    )
+    emit("ablation_pgus", table)
+    times = [results[n].pulse_gen_busy_ps for n in (1, 2, 4, 8, 16)]
+    # More PGUs never hurt, and going 1 -> 8 must help substantially.
+    assert all(b <= a for a, b in zip(times, times[1:]))
+    assert times[0] / times[3] > 3.0

@@ -1,0 +1,73 @@
+"""Fig. 1 — the motivation: quantum execution is a minor fraction of
+hybrid-algorithm runtime on decoupled hardware.
+
+Paper values: quantum share on the baseline is 16.4% (48q QAOA),
+15% (56q VQE), 13.7% (64q QNN) under GD; the 64q VQE breakdown (also
+Fig. 13a) is dominated by communication + host computation, with
+quantum at 7.9%.
+"""
+
+import pytest
+
+from common import SHOTS, WORKLOADS, emit, run_campaign
+from repro.analysis import format_table
+
+#: (algorithm, qubits) pairs from Fig. 1(a).
+CASES = [("qaoa", 48), ("vqe", 56), ("qnn", 64)]
+
+#: paper's quantum-share percentages for the three cases.
+PAPER_QUANTUM_SHARE = {"qaoa": 16.4, "vqe": 15.0, "qnn": 13.7}
+
+
+def _collect():
+    rows = []
+    shares = {}
+    for name, n_qubits in CASES:
+        workload = WORKLOADS[name](n_qubits)
+        report = run_campaign("baseline", workload, "gd", iterations=1)
+        share = 100 * report.quantum_fraction
+        shares[name] = share
+        rows.append([
+            f"{name}-{n_qubits}",
+            f"{share:.1f}%",
+            f"{PAPER_QUANTUM_SHARE[name]:.1f}%",
+            f"{100 - share:.1f}%",
+        ])
+    return rows, shares
+
+
+def bench_fig01_quantum_share(benchmark):
+    rows, shares = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "quantum share (measured)", "quantum share (paper)",
+         "classical share (measured)"],
+        rows,
+        title="Fig. 1(a): quantum vs classical time on the decoupled baseline (GD)",
+    )
+    emit("fig01_quantum_share", table)
+    # Shape: quantum is a minority share everywhere on the baseline.
+    for name, share in shares.items():
+        assert share < 50.0, f"{name}: quantum should be the minority share"
+
+
+def bench_fig01_vqe64_breakdown(benchmark):
+    def run():
+        workload = WORKLOADS["vqe"](64)
+        return run_campaign("baseline", workload, "spsa", iterations=2)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    pct = report.breakdown.percentages()
+    table = format_table(
+        ["component", "measured", "paper (Fig. 1b)"],
+        [
+            ["quantum execution", f"{pct['quantum']:.1f}%", "7.9%"],
+            ["pulse generation", f"{pct['pulse_gen']:.1f}%", "9.0%"],
+            ["host computation", f"{pct['host_compute']:.1f}%", "4.4%"],
+            ["quantum-host comm.", f"{pct['comm']:.1f}%", "78.7%"],
+        ],
+        title="Fig. 1(b): 64-qubit VQE (SPSA) baseline time breakdown",
+    )
+    emit("fig01_vqe64_breakdown", table)
+    assert pct["quantum"] < 50.0
+    # Communication + host computation dominate the baseline.
+    assert pct["comm"] + pct["host_compute"] > 50.0

@@ -1,0 +1,74 @@
+"""Fig. 11 — overall performance under the GD optimizer.
+
+Paper values (64 qubits, vs the decoupled baseline):
+
+* end-to-end speedups 14.7x (QAOA), 11.7x (VQE), 6.9x (QNN);
+* average classical-execution-time speedups 354.0x (QAOA),
+  375.8x (VQE), 221.7x (QNN);
+* speedups grow with the qubit count, for both Rocket- and
+  Boom-based Qtenon.
+"""
+
+import pytest
+
+from common import WORKLOADS, emit, run_campaign
+from repro.analysis import format_table, geometric_mean
+from repro.host import BOOM_LARGE, ROCKET
+
+QUBITS = [8, 16, 32, 48, 64]
+ALGOS = ["qaoa", "vqe", "qnn"]
+PAPER_E2E_64 = {"qaoa": 14.7, "vqe": 11.7, "qnn": 6.9}
+PAPER_CLASSICAL_AVG = {"qaoa": 354.0, "vqe": 375.8, "qnn": 221.7}
+
+
+def _sweep():
+    results = {}
+    for algo in ALGOS:
+        for n in QUBITS:
+            workload = WORKLOADS[algo](n)
+            baseline = run_campaign("baseline", workload, "gd", iterations=1)
+            for core in (ROCKET, BOOM_LARGE):
+                qtenon = run_campaign(
+                    "qtenon", workload, "gd", iterations=1, core=core
+                )
+                results[(algo, n, core.name)] = (
+                    qtenon.speedup_over(baseline),
+                    qtenon.classical_speedup_over(baseline),
+                )
+    return results
+
+
+def bench_fig11_gd_speedups(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for algo in ALGOS:
+        for core in ("rocket", "boom-large"):
+            e2e = [results[(algo, n, core)][0] for n in QUBITS]
+            classical = [results[(algo, n, core)][1] for n in QUBITS]
+            rows.append(
+                [f"{algo}/{core}"]
+                + [f"{v:.1f}x" for v in e2e]
+                + [f"{geometric_mean(classical):.0f}x"]
+            )
+    table = format_table(
+        ["workload/core"] + [f"e2e @{n}q" for n in QUBITS] + ["classical avg"],
+        rows,
+        title=(
+            "Fig. 11: GD end-to-end speedup vs qubits, and average classical "
+            "speedup\n(paper @64q e2e: qaoa 14.7x, vqe 11.7x, qnn 6.9x; "
+            "classical avg: 354x / 375.8x / 221.7x)"
+        ),
+    )
+    emit("fig11_gd", table)
+
+    for algo in ALGOS:
+        e2e_64 = results[(algo, 64, "boom-large")][0]
+        e2e_8 = results[(algo, 8, "boom-large")][0]
+        classical_64 = results[(algo, 64, "boom-large")][1]
+        # Qtenon always wins end-to-end, by a factor in the paper's band.
+        assert 2.0 < e2e_64 < 40.0, (algo, e2e_64)
+        # Speedup grows with qubit count (Fig. 11's upward curves).
+        assert e2e_64 > e2e_8, (algo, e2e_8, e2e_64)
+        # Classical speedup is orders of magnitude (paper: 221-376x).
+        assert classical_64 > 30.0, (algo, classical_64)

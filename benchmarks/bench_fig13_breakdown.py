@@ -1,0 +1,72 @@
+"""Fig. 13 — end-to-end time breakdown of 64-qubit VQE (SPSA) across
+three system configurations.
+
+Paper values: baseline 204.3 ms with quantum at 7.9%; Qtenon hardware
+only ("w/o software") 22.1 ms with quantum at 74.5%; full Qtenon
+18.1 ms with quantum at 89.2%.  The shape to reproduce: each step
+shrinks total time, and the quantum share climbs from a small minority
+to ~90%.
+"""
+
+import pytest
+
+from common import WORKLOADS, emit, run_campaign
+from repro.analysis import format_table, format_time_ps
+from repro.core import QtenonFeatures
+
+ITERATIONS = 3
+
+
+def _three_configs():
+    workload = WORKLOADS["vqe"](64)
+    baseline = run_campaign("baseline", workload, "spsa", iterations=ITERATIONS)
+    hardware = run_campaign(
+        "qtenon", workload, "spsa", iterations=ITERATIONS,
+        features=QtenonFeatures.hardware_only(),
+    )
+    full = run_campaign("qtenon", workload, "spsa", iterations=ITERATIONS)
+    return baseline, hardware, full
+
+
+def bench_fig13_breakdown(benchmark):
+    baseline, hardware, full = benchmark.pedantic(_three_configs, rounds=1, iterations=1)
+
+    rows = []
+    paper = {
+        "baseline": ("204.3 ms", "7.9%"),
+        "qtenon w/o software": ("22.1 ms", "74.5%"),
+        "qtenon (full)": ("18.1 ms", "89.2%"),
+    }
+    for label, report in (
+        ("baseline", baseline),
+        ("qtenon w/o software", hardware),
+        ("qtenon (full)", full),
+    ):
+        pct = report.breakdown.percentages()
+        paper_total, paper_quantum = paper[label]
+        rows.append([
+            label,
+            format_time_ps(report.end_to_end_ps),
+            f"{pct['quantum']:.1f}%",
+            f"{pct['pulse_gen']:.1f}%",
+            f"{pct['host_compute']:.1f}%",
+            f"{pct['comm']:.1f}%",
+            paper_total,
+            paper_quantum,
+        ])
+    table = format_table(
+        ["configuration", "total", "quantum", "pulse", "host", "comm",
+         "paper total", "paper quantum"],
+        rows,
+        title=f"Fig. 13: 64q VQE (SPSA, {ITERATIONS} iterations) breakdown "
+              "across system configurations",
+    )
+    emit("fig13_breakdown", table)
+
+    # Shape: strict ordering of totals...
+    assert baseline.end_to_end_ps > hardware.end_to_end_ps > full.end_to_end_ps
+    # ...and the quantum share flips from minority to ~90%.
+    assert baseline.quantum_fraction < 0.25
+    assert hardware.quantum_fraction > 0.5
+    assert full.quantum_fraction > 0.8
+    assert full.quantum_fraction > hardware.quantum_fraction

@@ -1,0 +1,92 @@
+"""Fig. 17 — scalability of Qtenon from 64 to 320 qubits (SPSA).
+
+Paper values: communication and host time scale nearly linearly with
+qubit count; at 320 qubits VQE needs 34.4 us of communication per
+(reported window) and QAOA 12.5 us; at 256 qubits quantum execution
+still dominates (>=76%) with communication minimal (~0.1%).  The
+controller cache grows linearly (22.63 MB at 256 qubits — checked in
+the Table 2 bench).
+"""
+
+import pytest
+
+from common import WORKLOADS, emit, run_campaign
+from repro.analysis import format_table, format_time_ps
+
+QUBITS = [64, 128, 192, 256, 320]
+ITERATIONS = 2
+
+
+def _sweep():
+    out = {}
+    for algo in ("qaoa", "vqe"):
+        for n in QUBITS:
+            workload = WORKLOADS[algo](n)
+            report = run_campaign("qtenon", workload, "spsa", iterations=ITERATIONS)
+            out[(algo, n)] = report
+    return out
+
+
+def bench_fig17_scalability(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for algo in ("qaoa", "vqe"):
+        base_comm = results[(algo, 64)].busy.comm_ps
+        base_host = results[(algo, 64)].busy.host_compute_ps
+        for n in QUBITS:
+            report = results[(algo, n)]
+            rows.append([
+                f"{algo}-{n}",
+                format_time_ps(report.busy.comm_ps),
+                f"{report.busy.comm_ps / base_comm:.1f}x",
+                format_time_ps(report.busy.host_compute_ps),
+                f"{report.busy.host_compute_ps / base_host:.1f}x",
+                f"{100 * report.quantum_fraction:.1f}%",
+            ])
+    table = format_table(
+        ["workload", "comm (busy)", "rel. to 64q", "host (busy)",
+         "rel. to 64q", "quantum share"],
+        rows,
+        title="Fig. 17: Qtenon scalability, 64-320 qubits (SPSA)\n"
+              "(paper: comm & host scale ~linearly; quantum dominates at "
+              "256q with comm ~0.1%)",
+    )
+    emit("fig17_scalability", table)
+
+    for algo in ("qaoa", "vqe"):
+        comm = [results[(algo, n)].busy.comm_ps for n in QUBITS]
+        host = [results[(algo, n)].busy.host_compute_ps for n in QUBITS]
+        # Monotone growth with width...
+        assert all(b >= a for a, b in zip(comm, comm[1:])), algo
+        assert all(b >= a for a, b in zip(host, host[1:])), algo
+        # ...and near-linear: 5x qubits => within ~1.5x of 5x time.
+        assert comm[-1] / comm[0] < 9.0, (algo, comm)
+        assert host[-1] / host[0] < 9.0, (algo, host)
+
+    report_256 = results[("vqe", 256)]
+    assert report_256.quantum_fraction > 0.7
+    assert report_256.breakdown.fraction("comm") < 0.02
+
+
+def bench_fig17_breakdown_256(benchmark):
+    def run():
+        return run_campaign(
+            "qtenon", WORKLOADS["vqe"](256), "spsa", iterations=ITERATIONS
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    pct = report.breakdown.percentages()
+    table = format_table(
+        ["component", "measured", "paper (Fig. 17c, VQE-256)"],
+        [
+            ["quantum execution", f"{pct['quantum']:.1f}%", "76.0%"],
+            ["pulse generation", f"{pct['pulse_gen']:.1f}%", "15.9%"],
+            ["host computation", f"{pct['host_compute']:.1f}%", "8.1%"],
+            ["quantum-host comm.", f"{pct['comm']:.2f}%", "~0.1%"],
+        ],
+        title="Fig. 17(c): 256-qubit VQE time breakdown on Qtenon",
+    )
+    emit("fig17_breakdown_256", table)
+    assert pct["quantum"] > 70.0
+    assert pct["comm"] < 2.0

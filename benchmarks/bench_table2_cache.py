@@ -1,0 +1,49 @@
+"""Table 2 — quantum controller cache sizing for the 64-qubit design.
+
+Paper values: .program 520 KB, .pulse 5 MB, .measure 40 KB, .slt
+112 KB, .regfile 4 KB — 5.66 MB total; and §7.5's 22.63 MB at 256
+qubits.  The sizes are *derived* from the entry formats, so this bench
+doubles as a check that the bit-level layouts match the paper.
+"""
+
+import pytest
+
+from common import emit
+from repro.analysis import format_table
+from repro.core import QtenonConfig
+
+PAPER_SIZES_KB = {
+    ".program": 520,
+    ".pulse": 5 * 1024,
+    ".measure": 40,
+    ".slt": 112,
+    ".regfile": 4,
+}
+
+
+def bench_table2_cache_sizes(benchmark):
+    config = benchmark.pedantic(
+        lambda: QtenonConfig(n_qubits=64), rounds=1, iterations=1
+    )
+    sizes = config.segment_sizes()
+
+    rows = []
+    for segment, paper_kb in PAPER_SIZES_KB.items():
+        measured_kb = sizes[segment] / 1024
+        rows.append([segment, f"{measured_kb:.0f} KB", f"{paper_kb} KB"])
+        assert measured_kb == pytest.approx(paper_kb), segment
+    total_mb = config.total_cache_bytes / (1 << 20)
+    rows.append(["total", f"{total_mb:.2f} MB", "5.66 MB"])
+    assert total_mb == pytest.approx(5.66, abs=0.01)
+
+    big = QtenonConfig(n_qubits=256)
+    big_mb = big.total_cache_bytes / (1 << 20)
+    rows.append(["total @256 qubits", f"{big_mb:.2f} MB", "22.63 MB (§7.5)"])
+    assert big_mb == pytest.approx(22.63, abs=0.25)
+
+    table = format_table(
+        ["segment", "measured", "paper (Table 2)"],
+        rows,
+        title="Table 2: quantum controller cache sizing",
+    )
+    emit("table2_cache", table)

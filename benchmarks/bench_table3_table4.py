@@ -1,0 +1,94 @@
+"""Tables 3 and 4 — the ISA listing and the hardware configuration.
+
+These are specification tables rather than measurements; the benches
+regenerate them *from the implementation* (instruction classes and
+config/core models), so any drift between code and paper spec fails
+here.
+"""
+
+import pytest
+
+from common import emit
+from repro.analysis import format_table
+from repro.core import QtenonConfig
+from repro.host import BOOM_LARGE, ROCKET
+from repro.isa import QAcquire, QGen, QRun, QSet, QUpdate
+from repro.isa.encoding import (
+    FUNCT_Q_ACQUIRE,
+    FUNCT_Q_GEN,
+    FUNCT_Q_RUN,
+    FUNCT_Q_SET,
+    FUNCT_Q_UPDATE,
+)
+from repro.memory import HierarchyConfig
+
+
+def bench_table3_isa(benchmark):
+    """Table 3: Qtenon's extended ISA (with our funct encodings)."""
+
+    def build():
+        return [
+            (QUpdate(0, 0), FUNCT_Q_UPDATE,
+             "Host Register -> Quantum Controller Cache"),
+            (QSet(0, 0, 1), FUNCT_Q_SET,
+             "Host Memory -> Quantum Controller Cache"),
+            (QAcquire(0, 0, 1), FUNCT_Q_ACQUIRE,
+             "Quantum Controller Cache -> Host Memory"),
+            (QGen(), FUNCT_Q_GEN, "Generate pulse"),
+            (QRun(1), FUNCT_Q_RUN,
+             "Run the quantum program for the specified number of shots"),
+        ]
+
+    rows_spec = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for instruction, funct, explanation in rows_spec:
+        word = instruction.rocc_word()
+        assert word.funct == funct  # code/spec agreement
+        rows.append([
+            instruction.mnemonic,
+            f"funct7={word.funct:#04x}",
+            "data comm." if instruction.mnemonic.startswith(("q_set", "q_update", "q_acquire")) else "computation",
+            explanation,
+        ])
+    table = format_table(
+        ["instruction", "encoding", "type", "explanation (Table 3)"],
+        rows,
+        title="Table 3: Qtenon's extended ISA, regenerated from the "
+              "instruction classes",
+    )
+    emit("table3_isa", table)
+    assert len(rows) == 5
+
+
+def bench_table4_configuration(benchmark):
+    """Table 4: hardware configuration, regenerated from the models."""
+
+    def build():
+        return QtenonConfig(n_qubits=64), HierarchyConfig()
+
+    config, hierarchy = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        ["Core", f"{ROCKET.name} / {BOOM_LARGE.name} @ "
+                 f"{ROCKET.freq_hz // 10**9} GHz", "Rocket / Boom-L @ 1 GHz"],
+        ["L1", f"{hierarchy.l1_size >> 10} KB {hierarchy.l1_ways}-way I/D",
+         "16 KB 4-way I-Cache, 16 KB 4-way D-Cache"],
+        ["QCC", f"{config.total_cache_bytes / 2**20:.2f} MB (Table 2 layout)",
+         "5.66 MB, configured per Table 2"],
+        ["QC", f"{config.n_qubits} qubits, {config.n_pgus} PGUs",
+         "64 qubits, 8 PGUs"],
+        ["L2", f"{hierarchy.l2_size >> 10} KB {hierarchy.l2_banks}-bank "
+               f"{hierarchy.l2_ways}-way", "512 KB 8-bank 4-way"],
+        ["Memory", "16 GB DDR3, 4 banks", "16 GB DDR3 4-bank"],
+    ]
+    table = format_table(
+        ["part", "model configuration", "paper (Table 4)"],
+        rows,
+        title="Table 4: hardware configuration, regenerated from the models",
+    )
+    emit("table4_config", table)
+
+    assert ROCKET.freq_hz == BOOM_LARGE.freq_hz == 1_000_000_000
+    assert hierarchy.l1_size == 16 << 10 and hierarchy.l1_ways == 4
+    assert hierarchy.l2_size == 512 << 10 and hierarchy.l2_banks == 8
+    assert config.n_qubits == 64 and config.n_pgus == 8
+    assert config.total_cache_bytes / 2**20 == pytest.approx(5.66, abs=0.01)

@@ -1,0 +1,11 @@
+"""Benchmark-suite conftest.
+
+Adds the benchmarks directory to ``sys.path`` so the ``common`` helper
+module resolves regardless of the pytest invocation directory, and
+registers the ``benchmark`` marker context.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

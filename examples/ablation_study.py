@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Ablating Qtenon's software features (paper Figs. 13 and 16).
+
+Runs the same 16-qubit VQE workload under four configurations —
+full Qtenon, no fine-grained synchronisation (FENCE), no batched
+transmission, and "hardware only" (both off) — plus the decoupled
+baseline, and prints how each feature moves the end-to-end time and
+the four-way breakdown.
+
+Run with:  python examples/ablation_study.py
+"""
+
+from repro import DecoupledSystem, HybridRunner, QtenonFeatures, QtenonSystem
+from repro.analysis import format_table, format_time_ps
+from repro.vqa import Spsa, vqe_workload
+
+N_QUBITS = 16
+SHOTS = 400
+ITERATIONS = 3
+
+CONFIGS = [
+    ("full Qtenon", QtenonFeatures.full()),
+    ("w/o fine-grained sync", QtenonFeatures(fine_grained_sync=False)),
+    ("w/o batched transmission", QtenonFeatures(batched_transmission=False)),
+    ("hardware only (Fig. 13b)", QtenonFeatures.hardware_only()),
+]
+
+
+def run(platform, workload):
+    runner = HybridRunner(
+        platform,
+        workload.ansatz,
+        workload.parameters,
+        workload.observable,
+        Spsa(seed=1),
+        shots=SHOTS,
+        iterations=ITERATIONS,
+    )
+    return runner.run(seed=1).report
+
+
+def main():
+    workload = vqe_workload(N_QUBITS, n_layers=2, seed=0)
+    print(f"workload: {workload.name}-{N_QUBITS}, "
+          f"{workload.n_parameters} parameters, "
+          f"{workload.measurement_groups} measurement groups\n")
+
+    reports = [
+        (name, run(QtenonSystem(N_QUBITS, features=features, timing_only=True),
+                   workload))
+        for name, features in CONFIGS
+    ]
+    baseline = run(DecoupledSystem(N_QUBITS, timing_only=True), workload)
+    reports.append(("decoupled baseline", baseline))
+
+    full = reports[0][1]
+    rows = []
+    for name, report in reports:
+        pct = report.breakdown.percentages()
+        rows.append([
+            name,
+            format_time_ps(report.end_to_end_ps),
+            f"{report.end_to_end_ps / full.end_to_end_ps:.2f}x",
+            f"{pct['quantum']:.1f}%",
+            f"{pct['comm']:.1f}%",
+            f"{pct['host_compute']:.1f}%",
+            format_time_ps(report.busy.host_compute_ps),
+        ])
+    print(format_table(
+        ["configuration", "end-to-end", "vs full", "quantum%",
+         "comm%", "host%", "host busy"],
+        rows,
+        title="Software-feature ablation (VQE, SPSA)",
+    ))
+
+    print("\nreading the table:")
+    print(" - disabling fine-grained sync exposes the transmission tail"
+          " (comm% rises; Fig. 16a);")
+    print(" - disabling batching multiplies per-shot PUT overheads"
+          " (host busy rises; Fig. 16b);")
+    print(" - the baseline pays milliseconds of link latency per round"
+          " (comm% dominates; Fig. 13a).")
+
+
+if __name__ == "__main__":
+    main()

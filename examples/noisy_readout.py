@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Readout noise and mitigation (extension beyond the paper).
+
+The paper's evaluation assumes ideal measurement; real superconducting
+readout misassigns states (asymmetrically — relaxation during the
+600 ns readout makes 1→0 flips more likely).  This example measures
+⟨Z⟩ on prepared basis states through the sampler's noise channel,
+shows the expected contraction by ``1 - p01 - p10``, and recovers the
+true value with the standard inversion.
+
+Run with:  python examples/noisy_readout.py
+"""
+
+from repro.analysis import format_table
+from repro.quantum import (
+    QuantumCircuit,
+    ReadoutNoise,
+    Sampler,
+    mitigate_single_qubit_expectation,
+)
+
+SHOTS = 50_000
+
+
+def measure_z(sampler: Sampler, prepare_one: bool) -> float:
+    circuit = QuantumCircuit(1)
+    if prepare_one:
+        circuit.x(0)
+    circuit.measure_all()
+    return sampler.run(circuit, SHOTS).expectation_z_product((0,))
+
+
+def main():
+    noise = ReadoutNoise(p01=0.02, p10=0.08)  # asymmetric, relaxation-heavy
+    ideal = Sampler(seed=1)
+    noisy = Sampler(seed=1, readout_noise=noise)
+    factor = noise.expected_z_attenuation()
+
+    rows = []
+    for label, prepare_one, truth in (("|0>", False, +1.0), ("|1>", True, -1.0)):
+        clean = measure_z(ideal, prepare_one)
+        corrupted = measure_z(noisy, prepare_one)
+        recovered = mitigate_single_qubit_expectation(corrupted, noise)
+        predicted = truth * factor + noise.expected_z_offset()
+        rows.append([
+            label,
+            f"{clean:+.4f}",
+            f"{corrupted:+.4f}",
+            f"{predicted:+.4f}",
+            f"{recovered:+.4f}",
+        ])
+    print(f"readout channel: p01={noise.p01}, p10={noise.p10} "
+          f"-> <Z> contraction factor {factor:.2f}\n")
+    print(format_table(
+        ["state", "ideal <Z>", "noisy <Z>", "predicted noisy", "mitigated"],
+        rows,
+        title=f"Readout error and mitigation ({SHOTS} shots)",
+    ))
+    print("\nThe mitigated column inverts the assignment matrix "
+          "(p_observed = A p_true), recovering the ideal expectation\n"
+          "to within shot noise — the measurement-error-mitigation step "
+          "a production VQA stack would run in host post-processing.")
+
+
+if __name__ == "__main__":
+    main()

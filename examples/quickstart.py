@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: run one hybrid quantum-classical workload on both
+platforms and compare them.
+
+This is the 60-second tour of the reproduction:
+
+1. build a QAOA MAX-CUT workload (the paper's first benchmark);
+2. run it on the tightly coupled Qtenon system;
+3. run the identical workload on the decoupled baseline;
+4. print the paper-style comparison (end-to-end speedup, classical
+   speedup, time breakdowns, instruction counts).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import DecoupledSystem, HybridRunner, QtenonSystem
+from repro.analysis import format_table, format_time_ps
+from repro.vqa import make_optimizer, qaoa_workload
+
+N_QUBITS = 10
+SHOTS = 300
+ITERATIONS = 3
+
+
+def run_on(platform, workload, seed=7):
+    runner = HybridRunner(
+        platform,
+        workload.ansatz,
+        workload.parameters,
+        workload.observable,
+        make_optimizer("spsa", seed=seed),
+        shots=SHOTS,
+        iterations=ITERATIONS,
+    )
+    return runner.run(seed=seed)
+
+
+def main():
+    workload = qaoa_workload(N_QUBITS, n_layers=3, seed=1)
+    print(f"workload: {workload.name} on {workload.n_qubits} qubits, "
+          f"{workload.n_parameters} parameters, "
+          f"{len(workload.ansatz)} ansatz gates\n")
+
+    qtenon = run_on(QtenonSystem(N_QUBITS, seed=3), workload)
+    baseline = run_on(DecoupledSystem(N_QUBITS, seed=3), workload)
+
+    rows = []
+    for label, result in (("Qtenon", qtenon), ("decoupled baseline", baseline)):
+        report = result.report
+        pct = report.breakdown.percentages()
+        rows.append([
+            label,
+            format_time_ps(report.end_to_end_ps),
+            f"{pct['quantum']:.1f}%",
+            f"{pct['comm']:.1f}%",
+            f"{pct['host_compute']:.1f}%",
+            f"{pct['pulse_gen']:.1f}%",
+            f"{result.best_cost:.2f}",
+        ])
+    print(format_table(
+        ["platform", "end-to-end", "quantum", "comm", "host", "pulse-gen", "best cost"],
+        rows,
+        title="One SPSA-optimised QAOA run on each platform",
+    ))
+
+    print()
+    print(f"end-to-end speedup : "
+          f"{qtenon.report.speedup_over(baseline.report):.1f}x")
+    print(f"classical speedup  : "
+          f"{qtenon.report.classical_speedup_over(baseline.report):.1f}x")
+    print(f"Qtenon instructions: {qtenon.report.instruction_counts}")
+    print(f"SLT hit rate       : {qtenon.report.extra['slt_hit_rate']:.1%}")
+    print()
+    print("Optimisation trace (cost per iteration):")
+    for i, (a, b) in enumerate(zip(qtenon.cost_history, baseline.cost_history)):
+        print(f"  iter {i}:  qtenon {a:+.3f}   baseline {b:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

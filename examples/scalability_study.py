@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scalability study: Qtenon from 64 to 320 qubits (paper §7.5/Fig. 17).
+
+Sweeps QAOA and VQE in timing-only mode across increasing chip widths
+and reports how communication, pulse generation and host computation
+grow — plus the controller-cache SRAM each width needs (the paper's
+22.63 MB at 256 qubits) and the bandwidth/pin feasibility limits §7.5
+discusses.
+
+Run with:  python examples/scalability_study.py
+"""
+
+import numpy as np
+
+from repro import HybridRunner, QtenonSystem
+from repro.analysis import format_table, format_time_ps
+from repro.core import QtenonConfig, PulseOutputPath
+from repro.vqa import make_optimizer, qaoa_workload, vqe_workload
+
+QUBITS = [64, 128, 192, 256, 320]
+SHOTS = 500
+ITERATIONS = 2
+
+
+def run(workload):
+    config = QtenonConfig(
+        n_qubits=workload.n_qubits,
+        regfile_entries=max(1024, 8 * workload.n_qubits),
+    )
+    system = QtenonSystem(
+        workload.n_qubits, config=config, timing_only=True, seed=5
+    )
+    runner = HybridRunner(
+        system, workload.ansatz, workload.parameters, workload.observable,
+        make_optimizer("spsa", seed=1), shots=SHOTS, iterations=ITERATIONS,
+    )
+    initial = np.random.default_rng(1).uniform(-0.5, 0.5, workload.n_parameters)
+    return runner.run(initial_params=initial).report
+
+
+def main():
+    rows = []
+    for n in QUBITS:
+        for name, builder in (("qaoa", qaoa_workload), ("vqe", vqe_workload)):
+            workload = builder(n)
+            report = run(workload)
+            config = QtenonConfig(n_qubits=n)
+            rows.append([
+                f"{name}-{n}",
+                format_time_ps(report.busy.comm_ps),
+                format_time_ps(report.busy.host_compute_ps),
+                format_time_ps(report.busy.pulse_gen_ps),
+                f"{100 * report.quantum_fraction:.1f}%",
+                f"{config.total_cache_bytes / 2**20:.1f} MB",
+            ])
+    print(format_table(
+        ["workload", "comm busy", "host busy", "pulse busy",
+         "quantum share", "QCC SRAM"],
+        rows,
+        title=f"Qtenon scalability, {ITERATIONS} SPSA iterations x {SHOTS} shots",
+    ))
+
+    # §7.5 feasibility arithmetic: DAC pins and pulse bandwidth.
+    path = PulseOutputPath()
+    print("\nhardware feasibility (paper §7.5):")
+    for n in QUBITS:
+        pins = 2 * n  # two DACs per qubit
+        bandwidth_gb = n * path.required_bits_per_ns / 8
+        print(f"  {n:4d} qubits: {pins:4d} DAC channels, "
+              f"{bandwidth_gb:7.0f} GB/s aggregate pulse bandwidth, "
+              f"rate-balanced output path: {path.is_rate_balanced}")
+
+
+if __name__ == "__main__":
+    main()

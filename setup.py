@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (PEP 517 editable builds require it); all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

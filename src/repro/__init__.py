@@ -1,0 +1,68 @@
+"""repro — a reproduction of Qtenon (ISCA '25).
+
+Qtenon is a tightly coupled hardware/software system for accelerating
+hybrid quantum-classical algorithms: a RISC-V host extended with a
+quantum controller sharing a unified memory hierarchy, plus a custom
+RoCC ISA with fine-grained synchronisation, incremental compilation
+and batched measurement transmission.
+
+This package is a behavioral + timing simulator of that system and of
+the decoupled baseline it is compared against.  Quick start::
+
+    from repro import QtenonSystem, DecoupledSystem, HybridRunner
+    from repro.vqa import qaoa_workload, make_optimizer
+
+    wl = qaoa_workload(n_qubits=8)
+    system = QtenonSystem(n_qubits=8)
+    runner = HybridRunner(system, wl.ansatz, wl.parameters, wl.observable,
+                          make_optimizer("spsa"), shots=200, iterations=3)
+    result = runner.run()
+    print(result.report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.analysis import ExecutionReport, TimeBreakdown
+from repro.baseline import DecoupledSystem
+from repro.core import QtenonConfig, QtenonFeatures, QtenonSystem
+from repro.quantum import (
+    Parameter,
+    PauliString,
+    PauliSum,
+    QuantumCircuit,
+    QuantumDevice,
+    Sampler,
+)
+from repro.vqa import (
+    HybridResult,
+    HybridRunner,
+    make_optimizer,
+    qaoa_workload,
+    qnn_workload,
+    vqe_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QtenonSystem",
+    "QtenonFeatures",
+    "QtenonConfig",
+    "DecoupledSystem",
+    "HybridRunner",
+    "HybridResult",
+    "ExecutionReport",
+    "TimeBreakdown",
+    "QuantumCircuit",
+    "Parameter",
+    "PauliSum",
+    "PauliString",
+    "QuantumDevice",
+    "Sampler",
+    "qaoa_workload",
+    "vqe_workload",
+    "qnn_workload",
+    "make_optimizer",
+    "__version__",
+]

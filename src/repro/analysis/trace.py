@@ -1,0 +1,115 @@
+"""Execution timeline tracing (Chrome trace format).
+
+With ``QtenonSystem(..., trace_events=True)`` every phase the platform
+places on the global timeline is also recorded as a span.  The
+recorder exports the standard Chrome/Perfetto trace-event JSON, so an
+evaluation's interleaving — quantum shots, streamed PUT batches,
+overlapped host post-processing — can be inspected in
+``chrome://tracing`` / https://ui.perfetto.dev.
+
+Spans live on named *tracks* (one per engine: quantum, controller,
+host, bus); within a track spans never overlap, which the tests
+assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed phase on one track."""
+
+    track: str
+    name: str
+    start_ps: int
+    end_ps: int
+
+    def __post_init__(self) -> None:
+        if self.end_ps < self.start_ps:
+            raise ValueError(
+                f"span {self.name!r} ends ({self.end_ps}) before it starts "
+                f"({self.start_ps})"
+            )
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+class TraceRecorder:
+    """Collects spans and renders Chrome trace-event JSON."""
+
+    #: stable thread ids per track for the Chrome viewer.
+    TRACKS = ("quantum", "controller", "host", "bus")
+
+    def __init__(self, process_name: str = "qtenon") -> None:
+        self.process_name = process_name
+        self.spans: List[Span] = []
+
+    def record(self, track: str, name: str, start_ps: int, end_ps: int) -> None:
+        """Add a span; zero-duration spans are dropped."""
+        if end_ps <= start_ps:
+            return
+        self.spans.append(Span(track=track, name=name, start_ps=start_ps, end_ps=end_ps))
+
+    # ------------------------------------------------------------------
+    def spans_on(self, track: str) -> List[Span]:
+        return sorted(
+            (span for span in self.spans if span.track == track),
+            key=lambda span: span.start_ps,
+        )
+
+    def busy_ps(self, track: str) -> int:
+        return sum(span.duration_ps for span in self.spans_on(track))
+
+    def end_ps(self) -> int:
+        return max((span.end_ps for span in self.spans), default=0)
+
+    def has_overlap(self, track: str) -> bool:
+        """True if two spans on ``track`` overlap (a modelling bug)."""
+        spans = self.spans_on(track)
+        return any(b.start_ps < a.end_ps for a, b in zip(spans, spans[1:]))
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> str:
+        """Chrome trace-event JSON ('X' complete events, µs timestamps)."""
+        tids = {track: i + 1 for i, track in enumerate(self.TRACKS)}
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": self.process_name},
+            }
+        ]
+        for track, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for span in sorted(self.spans, key=lambda s: s.start_ps):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.track,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tids.get(span.track, 99),
+                    "ts": span.start_ps / 1e6,   # ps -> us
+                    "dur": span.duration_ps / 1e6,
+                }
+            )
+        return json.dumps({"traceEvents": events}, indent=2)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_chrome_trace())

@@ -1,0 +1,78 @@
+"""Host ↔ FPGA link models for the decoupled baseline.
+
+Decoupled systems connect host and quantum controller over commodity
+links (paper Table 1): USB for eQASM (~1 ms), Ethernet for HiSEP-Q
+(~10 ms), and the paper's own baseline — a 100 Gb Ethernet UDP
+connection, evaluated "under optimal conditions" with switches
+omitted.  A transfer costs a fixed per-message latency (protocol
+stack, NIC, DMA) plus size over bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.kernel import ms, us
+from repro.sim.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A one-directional message-passing link."""
+
+    name: str
+    per_message_latency_ps: int
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.per_message_latency_ps < 0:
+            raise ValueError(f"{self.name}: negative latency")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+
+    def transfer_ps(self, n_bytes: int) -> int:
+        """Time to deliver one ``n_bytes`` message."""
+        if n_bytes < 0:
+            raise ValueError(f"negative message size {n_bytes}")
+        wire = int(n_bytes / self.bandwidth_bytes_per_s * 1e12)
+        return self.per_message_latency_ps + wire
+
+    def round_trip_ps(self, up_bytes: int, down_bytes: int) -> int:
+        return self.transfer_ps(up_bytes) + self.transfer_ps(down_bytes)
+
+
+#: The paper baseline: 100 GbE + UDP, optimal conditions (§7.1).  The
+#: per-message cost covers the kernel network stack and NIC DMA; the
+#: resulting end-to-end round trips land in Table 1's 1–10 ms band.
+UDP_100GBE = LinkModel("udp-100gbe", per_message_latency_ps=ms(1), bandwidth_bytes_per_s=12.5e9)
+
+#: eQASM-style USB control link (Table 1: ~1 ms).
+USB = LinkModel("usb", per_message_latency_ps=ms(1), bandwidth_bytes_per_s=60e6)
+
+#: HiSEP-Q-style commodity Ethernet (Table 1: ~10 ms).
+ETHERNET_1GBE = LinkModel("ethernet-1gbe", per_message_latency_ps=ms(10), bandwidth_bytes_per_s=125e6)
+
+LINKS = {link.name: link for link in (UDP_100GBE, USB, ETHERNET_1GBE)}
+
+
+class LinkTracker:
+    """Per-run accounting wrapper around a :class:`LinkModel`."""
+
+    def __init__(self, link: LinkModel) -> None:
+        self.link = link
+        self.stats = StatGroup(f"link-{link.name}")
+        self._messages = self.stats.counter("messages")
+        self._bytes = self.stats.counter("bytes")
+
+    def send(self, n_bytes: int) -> int:
+        self._messages.increment()
+        self._bytes.increment(n_bytes)
+        return self.link.transfer_ps(n_bytes)
+
+    @property
+    def messages(self) -> int:
+        return self._messages.value
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._bytes.value

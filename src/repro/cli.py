@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs one hybrid workload on one or both platforms and prints the
+paper-style report — the fastest way to poke at the reproduction
+without writing code::
+
+    python -m repro run qaoa --qubits 16 --optimizer spsa --iterations 3
+    python -m repro run vqe --qubits 64 --timing-only --compare
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro import DecoupledSystem, HybridRunner, QtenonSystem, __version__
+from repro.analysis import format_table, format_time_ps
+from repro.core import QtenonConfig
+from repro.host import core_by_name
+from repro.vqa import make_optimizer, qaoa_workload, qnn_workload, vqe_workload
+
+WORKLOADS = {"qaoa": qaoa_workload, "vqe": vqe_workload, "qnn": qnn_workload}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qtenon (ISCA '25) reproduction — hybrid quantum-classical "
+                    "architecture simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a VQA workload on a platform")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--qubits", type=int, default=8)
+    run.add_argument("--optimizer", choices=("gd", "spsa"), default="spsa")
+    run.add_argument("--shots", type=int, default=500)
+    run.add_argument("--iterations", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--core", default="boom-large",
+        help="Qtenon host core: rocket | boom-large",
+    )
+    run.add_argument(
+        "--platform", choices=("qtenon", "baseline"), default="qtenon",
+    )
+    run.add_argument(
+        "--compare", action="store_true",
+        help="run both platforms and print the speedups",
+    )
+    run.add_argument(
+        "--timing-only", action="store_true",
+        help="skip quantum-state simulation (large qubit counts)",
+    )
+
+    sub.add_parser("info", help="print version and model constants")
+    return parser
+
+
+def _make_platform(name: str, args) -> object:
+    if name == "qtenon":
+        return QtenonSystem(
+            args.qubits,
+            core=core_by_name(args.core),
+            seed=args.seed,
+            timing_only=args.timing_only,
+            config=QtenonConfig(
+                n_qubits=args.qubits,
+                regfile_entries=max(1024, 8 * args.qubits),
+            ),
+        )
+    return DecoupledSystem(args.qubits, seed=args.seed, timing_only=args.timing_only)
+
+
+def _run_one(platform_name: str, args):
+    workload = WORKLOADS[args.workload](args.qubits)
+    platform = _make_platform(platform_name, args)
+    runner = HybridRunner(
+        platform,
+        workload.ansatz,
+        workload.parameters,
+        workload.observable,
+        make_optimizer(args.optimizer, seed=args.seed),
+        shots=args.shots,
+        iterations=args.iterations,
+    )
+    return runner.run(seed=args.seed)
+
+
+def cmd_run(args) -> int:
+    if args.qubits > 20 and not args.timing_only:
+        print(
+            f"note: {args.qubits} qubits exceeds exact simulation; "
+            "consider --timing-only for sweeps",
+            file=sys.stderr,
+        )
+    result = _run_one(args.platform, args)
+    print(result.report.summary())
+    print(f"  best cost: {result.best_cost:+.4f}")
+    if not args.compare:
+        return 0
+
+    other_name = "baseline" if args.platform == "qtenon" else "qtenon"
+    other = _run_one(other_name, args)
+    print()
+    print(other.report.summary())
+    qtenon, baseline = (
+        (result, other) if args.platform == "qtenon" else (other, result)
+    )
+    print()
+    print(f"end-to-end speedup : {qtenon.report.speedup_over(baseline.report):.1f}x")
+    print(
+        "classical speedup  : "
+        f"{qtenon.report.classical_speedup_over(baseline.report):.1f}x"
+    )
+    return 0
+
+
+def cmd_info(_args) -> int:
+    from repro.quantum.gates import MEASUREMENT_NS, ONE_QUBIT_NS, TWO_QUBIT_NS
+
+    config = QtenonConfig()
+    print(f"repro {__version__} — Qtenon (ISCA '25) reproduction")
+    print(
+        format_table(
+            ["constant", "value"],
+            [
+                ["1q / 2q gate time", f"{ONE_QUBIT_NS:.0f} / {TWO_QUBIT_NS:.0f} ns"],
+                ["measurement time", f"{MEASUREMENT_NS:.0f} ns (+processing)"],
+                ["PGUs x latency", f"{config.n_pgus} x {config.pgu_latency_cycles} cycles"],
+                ["QCC total (64q)", f"{config.total_cache_bytes / 2**20:.2f} MB"],
+                ["QSpace per qubit", f"{config.qspace_bytes_per_qubit >> 20} MB"],
+                ["bus width / tags", "256 bit / 32"],
+            ],
+            title="model constants (paper §5, §7.1, Tables 2/4)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_info(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

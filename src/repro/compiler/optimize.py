@@ -1,0 +1,172 @@
+"""Peephole circuit optimisation.
+
+A small, semantics-preserving pass pipeline run before lowering:
+
+* **rotation fusion** — adjacent same-axis rotations on one qubit merge
+  (``rz(a); rz(b) → rz(a+b)``), including through symbolic parameters
+  when they share the same free parameter (affine terms add);
+* **self-inverse cancellation** — adjacent identical CZ pairs cancel
+  (CZ is its own inverse), as do adjacent X/Y/Z/H pairs;
+* **null-rotation elimination** — bound rotations with angle ~0 drop.
+
+Fewer program entries mean fewer pulses to generate and a smaller
+upload — the compiler-side complement to the hardware SLT.  Every pass
+preserves the statevector up to global phase (asserted by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.quantum.circuit import Operation, QuantumCircuit
+from repro.quantum.parameters import (
+    Parameter,
+    ParameterExpression,
+    is_symbolic,
+)
+
+_ROTATIONS = ("rx", "ry", "rz")
+_SELF_INVERSE = ("x", "y", "z", "h", "cz", "cx")
+_NULL_EPS = 1e-12
+
+
+def optimize(circuit: QuantumCircuit, max_passes: int = 8) -> QuantumCircuit:
+    """Run the pass pipeline to a fixed point (bounded by max_passes)."""
+    current = circuit
+    for _ in range(max_passes):
+        fused = _fuse_rotations(current)
+        cancelled = _cancel_self_inverse(fused)
+        cleaned = _drop_null_rotations(cancelled)
+        if len(cleaned) == len(current):
+            return cleaned
+        current = cleaned
+    return current
+
+
+def gates_saved(before: QuantumCircuit, after: QuantumCircuit) -> int:
+    return len(before) - len(after)
+
+
+# ----------------------------------------------------------------------
+# passes
+# ----------------------------------------------------------------------
+
+
+def _fuse_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    out = QuantumCircuit(circuit.n_qubits, name=circuit.name)
+    for op in circuit.operations:
+        previous = _last_on_qubits(out, op.qubits)
+        if (
+            previous is not None
+            and op.name in _ROTATIONS
+            and previous.name == op.name
+            and previous.qubits == op.qubits
+        ):
+            merged = _merge_angles(previous.params[0], op.params[0])
+            if merged is not None:
+                # `previous` may not be the global last op (later ops on
+                # other qubits are fine to commute past); merge in place.
+                index = _index_of(out, previous)
+                out.operations[index] = Operation(op.spec, op.qubits, (merged,))
+                continue
+        out.operations.append(op)
+    return out
+
+
+def _cancel_self_inverse(circuit: QuantumCircuit) -> QuantumCircuit:
+    out = QuantumCircuit(circuit.n_qubits, name=circuit.name)
+    for op in circuit.operations:
+        previous = _last_on_qubits(out, op.qubits)
+        # Safe to cancel when the most recent operation touching ANY of
+        # this op's qubits is an identical self-inverse gate on exactly
+        # the same qubits: anything between them acts on disjoint
+        # qubits and commutes through.  CZ is qubit-symmetric.
+        if (
+            previous is not None
+            and op.name in _SELF_INVERSE
+            and previous.name == op.name
+            and _same_operands(previous, op)
+        ):
+            # remove by identity — frozen-dataclass equality would
+            # delete the first *equal* gate, not this one.
+            del out.operations[_index_of(out, previous)]
+            continue
+        out.operations.append(op)
+    return out
+
+
+def _same_operands(a: Operation, b: Operation) -> bool:
+    if a.qubits == b.qubits:
+        return True
+    # CZ (and any symmetric 2q gate) matches under operand swap.
+    if a.name == "cz" and set(a.qubits) == set(b.qubits):
+        return True
+    return False
+
+
+def _drop_null_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    out = QuantumCircuit(circuit.n_qubits, name=circuit.name)
+    for op in circuit.operations:
+        if (
+            op.name in _ROTATIONS
+            and not op.is_symbolic
+            and abs(float(op.params[0])) < _NULL_EPS
+        ):
+            continue
+        out.operations.append(op)
+    return out
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _last_on_qubits(circuit: QuantumCircuit, qubits: Tuple[int, ...]) -> Optional[Operation]:
+    """The most recent operation touching any of ``qubits`` — a legal
+    fusion/cancellation partner only if it is *exactly* the previous
+    operation on every one of them."""
+    touched = set(qubits)
+    for op in reversed(circuit.operations):
+        if touched & set(op.qubits):
+            # it must cover the same qubit set to be a partner
+            return op
+    return None
+
+
+def _index_of(circuit: QuantumCircuit, op: Operation) -> int:
+    for index in range(len(circuit.operations) - 1, -1, -1):
+        if circuit.operations[index] is op:
+            return index
+    raise ValueError("operation not in circuit")  # pragma: no cover
+
+
+def _merge_angles(a, b):
+    """Sum two rotation parameters when representable.
+
+    numeric + numeric → numeric; symbolic terms over the *same*
+    parameter add coefficients/offsets; otherwise no fusion.
+    """
+    if not is_symbolic(a) and not is_symbolic(b):
+        return float(a) + float(b)
+    expr_a, expr_b = _as_expression(a), _as_expression(b)
+    if expr_a is None or expr_b is None:
+        return None
+    if expr_a.parameter is not expr_b.parameter:
+        return None
+    return ParameterExpression(
+        expr_a.parameter,
+        coeff=expr_a.coeff + expr_b.coeff,
+        offset=expr_a.offset + expr_b.offset,
+    )
+
+
+def _as_expression(value) -> Optional[ParameterExpression]:
+    if isinstance(value, ParameterExpression):
+        return value
+    if isinstance(value, Parameter):
+        return ParameterExpression(value)
+    if isinstance(value, (int, float)):
+        return None
+    return None

@@ -1,0 +1,64 @@
+"""Flat OpenQASM-style emission — the *baseline's* compilation model.
+
+Decoupled systems (eQASM, HiSEP-Q) compile circuits into static
+instruction streams with the qubit index encoded in every instruction,
+and recompile from scratch each iteration (paper §2.3/§3).  This
+module provides that emission path for the baseline system model and
+for the Table 1 instruction-count comparison (~3 x 10^4 baseline
+instructions vs ~285 on Qtenon for the 64-qubit QAOA scenario).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.quantum.circuit import QuantumCircuit
+
+
+class QasmError(ValueError):
+    """Cannot emit an unbound circuit."""
+
+
+def emit_qasm(circuit: QuantumCircuit) -> str:
+    """Render a *bound* circuit as OpenQASM 2-style text."""
+    if not circuit.is_bound:
+        raise QasmError(
+            f"circuit {circuit.name!r} has free parameters; decoupled ISAs "
+            "require fully bound programs (this is the point of Table 1)"
+        )
+    lines: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.n_qubits}];",
+        f"creg c[{circuit.n_qubits}];",
+    ]
+    for op in circuit.operations:
+        if op.is_measurement:
+            qubit = op.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+            continue
+        args = ",".join(f"{float(p):.10g}" for p in op.params)
+        operands = ",".join(f"q[{q}]" for q in op.qubits)
+        if args:
+            lines.append(f"{op.name}({args}) {operands};")
+        else:
+            lines.append(f"{op.name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def static_instruction_count(circuit: QuantumCircuit) -> int:
+    """Instructions a static quantum-dedicated ISA needs for one
+    execution of ``circuit`` (one per gate and per measurement —
+    timing/wait instructions excluded, matching Table 1's note)."""
+    return len(circuit.operations)
+
+
+def campaign_instruction_count(
+    circuit: QuantumCircuit,
+    evaluations: int,
+) -> int:
+    """Total static instructions across a whole optimisation campaign:
+    the program is regenerated for every circuit evaluation."""
+    if evaluations <= 0:
+        raise ValueError(f"evaluations must be positive, got {evaluations}")
+    return static_instruction_count(circuit) * evaluations

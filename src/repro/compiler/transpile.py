@@ -1,0 +1,88 @@
+"""Transpilation to the controller's native gate set.
+
+The Qtenon controller generates pulses for {rx, ry, rz, cz, measure}.
+Everything else is rewritten:
+
+* fixed single-qubit gates become rotations (up to global phase):
+  ``x → rx(pi)``, ``h → rz(pi); ry(pi/2)``, ``s → rz(pi/2)``, ...;
+* ``cx(c, t)`` becomes ``h(t); cz(c, t); h(t)`` (with the h's
+  expanded);
+* ``rzz(theta, a, b)`` becomes ``cx; rz(theta, b); cx`` and the cx's
+  expand in turn.
+
+Symbolic parameters survive the rewrite (an ``rzz(theta)`` keeps its
+free parameter on the inner ``rz``), which is what lets the lowering
+pass map them to regfile slots.  Correctness is validated by the
+statevector-equivalence-up-to-global-phase tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.quantum.circuit import Operation, QuantumCircuit
+from repro.quantum.gates import NATIVE_GATES
+
+_PI = math.pi
+
+
+class TranspileError(ValueError):
+    """A gate has no rewrite rule."""
+
+
+def is_native(circuit: QuantumCircuit) -> bool:
+    return all(op.name in NATIVE_GATES for op in circuit.operations)
+
+
+def transpile(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite ``circuit`` into the native gate set."""
+    native = QuantumCircuit(circuit.n_qubits, name=f"{circuit.name}@native")
+    for op in circuit.operations:
+        _lower_op(native, op)
+    return native
+
+
+def _lower_op(out: QuantumCircuit, op: Operation) -> None:
+    name = op.name
+    if name in NATIVE_GATES:
+        out.append(name, op.qubits, op.params)
+        return
+    qubits = op.qubits
+    if name == "x":
+        out.rx(_PI, qubits[0])
+    elif name == "y":
+        out.ry(_PI, qubits[0])
+    elif name == "z":
+        out.rz(_PI, qubits[0])
+    elif name == "s":
+        out.rz(_PI / 2, qubits[0])
+    elif name == "sdg":
+        out.rz(-_PI / 2, qubits[0])
+    elif name == "t":
+        out.rz(_PI / 4, qubits[0])
+    elif name == "h":
+        _emit_h(out, qubits[0])
+    elif name == "cx":
+        _emit_cx(out, qubits[0], qubits[1])
+    elif name == "rzz":
+        control, target = qubits
+        theta = op.params[0]
+        _emit_cx(out, control, target)
+        out.rz(theta, target)
+        _emit_cx(out, control, target)
+    else:
+        raise TranspileError(f"no rewrite rule for gate {name!r}")
+
+
+def _emit_h(out: QuantumCircuit, qubit: int) -> None:
+    # H = RY(pi/2) . RZ(pi) up to a global phase of -i.
+    out.rz(_PI, qubit)
+    out.ry(_PI / 2, qubit)
+
+
+def _emit_cx(out: QuantumCircuit, control: int, target: int) -> None:
+    # CX = (I (x) H) . CZ . (I (x) H).
+    _emit_h(out, target)
+    out.cz(control, target)
+    _emit_h(out, target)

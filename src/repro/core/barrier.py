@@ -1,0 +1,96 @@
+"""Memory consistency: soft memory barrier vs FENCE (paper §6.2, Fig. 9).
+
+Two data races exist in the tightly coupled design:
+
+1. ``q_set`` vs ``q_gen`` — pulse generation starting before the
+   program upload lands.  Solved entirely in hardware by a barrier in
+   the QCC (no software cost); we model it by ordering the operations.
+2. ``q_run``/``q_acquire`` vs host post-processing — the host reading
+   a result address before the controller's PUT for it completed.
+
+For race 2 the paper contrasts two mechanisms, both modelled here:
+
+* **FENCE** (RISC-V default): the host stalls until *every*
+  outstanding quantum/bus operation completes — coarse, strict
+  ordering (Fig. 9a).
+* **Fine-grained soft barrier** (Qtenon): the controller tracks, per
+  synchronised host address, when its PUT was issued to the system
+  bus; the host's access performs a non-blocking single-cycle RoCC
+  query and proceeds as soon as *that* address is valid (Fig. 9b),
+  letting post-processing overlap the remaining quantum shots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim.clock import HOST_CLOCK, Clock
+from repro.sim.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class SyncedRange:
+    """A host address range and the time its data becomes valid."""
+
+    addr: int
+    size: int
+    ready_ps: int
+
+    def covers(self, addr: int) -> bool:
+        return self.addr <= addr < self.addr + self.size
+
+
+class MemoryBarrier:
+    """The controller-side barrier table (one entry per PUT)."""
+
+    def __init__(self, clock: Clock = HOST_CLOCK) -> None:
+        self.clock = clock
+        self._ranges: List[SyncedRange] = []
+        self.stats = StatGroup("barrier")
+        self._queries = self.stats.counter("queries")
+        self._stall_acc = self.stats.accumulator("stall_ps")
+
+    # ------------------------------------------------------------------
+    # controller side
+    # ------------------------------------------------------------------
+    def mark_put(self, addr: int, size: int, ready_ps: int) -> None:
+        """Record that [addr, addr+size) is valid from ``ready_ps``
+        (the PUT request has been sent through the system bus)."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self._ranges.append(SyncedRange(addr, size, ready_ps))
+
+    def clear(self) -> None:
+        self._ranges.clear()
+
+    # ------------------------------------------------------------------
+    # host side
+    # ------------------------------------------------------------------
+    def query(self, addr: int, now_ps: int) -> int:
+        """Fine-grained access check (Fig. 9b).
+
+        Returns the earliest time the host may consume ``addr``:
+        the single-cycle RoCC query plus any wait until the covering
+        PUT is on the bus.  An address never marked is immediately
+        usable after the query (it is not quantum-synchronised).
+        """
+        self._queries.increment()
+        query_done = now_ps + self.clock.period_ps
+        ready = query_done
+        for entry in reversed(self._ranges):
+            if entry.covers(addr):
+                ready = max(query_done, entry.ready_ps)
+                break
+        self._stall_acc.observe(ready - query_done)
+        return ready
+
+    def fence(self, now_ps: int) -> int:
+        """Coarse FENCE (Fig. 9a): wait for *all* recorded operations."""
+        latest = max((entry.ready_ps for entry in self._ranges), default=now_ps)
+        return max(now_ps, latest)
+
+    def pending_after(self, now_ps: int) -> int:
+        """How many synchronised ranges are not yet valid at ``now_ps``."""
+        return sum(1 for entry in self._ranges if entry.ready_ps > now_ps)

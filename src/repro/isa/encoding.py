@@ -1,0 +1,125 @@
+"""RoCC instruction encoding (paper Fig. 8a).
+
+Qtenon's five custom instructions use the Rocket Custom Coprocessor
+(RoCC) format on the RISC-V ``custom-0`` opcode.  Bit layout, LSB
+first::
+
+    [6:0]   opcode   (custom-0 = 0b0001011)
+    [11:7]  rd
+    [12]    xs2      (rs2 register is read)
+    [13]    xs1      (rs1 register is read)
+    [14]    xd       (rd register is written)
+    [19:15] rs1
+    [24:20] rs2
+    [31:25] roccinst (funct7: selects the Qtenon operation)
+
+The 64-bit *register payloads* that travel with an instruction are
+encoded per Fig. 8b in :mod:`repro.isa.instructions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CUSTOM0_OPCODE = 0b0001011
+
+#: funct7 values assigned to the Qtenon operations.
+FUNCT_Q_UPDATE = 0b0000000
+FUNCT_Q_SET = 0b0000001
+FUNCT_Q_ACQUIRE = 0b0000010
+FUNCT_Q_GEN = 0b0000011
+FUNCT_Q_RUN = 0b0000100
+
+FUNCT_NAMES = {
+    FUNCT_Q_UPDATE: "q_update",
+    FUNCT_Q_SET: "q_set",
+    FUNCT_Q_ACQUIRE: "q_acquire",
+    FUNCT_Q_GEN: "q_gen",
+    FUNCT_Q_RUN: "q_run",
+}
+
+
+class EncodingError(ValueError):
+    """Raised for out-of-range fields or malformed words."""
+
+
+def _check_field(name: str, value: int, bits: int) -> int:
+    if not 0 <= value < (1 << bits):
+        raise EncodingError(f"{name}={value} does not fit in {bits} bits")
+    return value
+
+
+@dataclass(frozen=True)
+class RoccWord:
+    """A decoded 32-bit RoCC instruction word."""
+
+    funct: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    xd: bool = False
+    xs1: bool = False
+    xs2: bool = False
+    opcode: int = CUSTOM0_OPCODE
+
+    def encode(self) -> int:
+        """Pack to a 32-bit word."""
+        _check_field("funct", self.funct, 7)
+        _check_field("rd", self.rd, 5)
+        _check_field("rs1", self.rs1, 5)
+        _check_field("rs2", self.rs2, 5)
+        _check_field("opcode", self.opcode, 7)
+        word = self.opcode
+        word |= self.rd << 7
+        word |= int(self.xs2) << 12
+        word |= int(self.xs1) << 13
+        word |= int(self.xd) << 14
+        word |= self.rs1 << 15
+        word |= self.rs2 << 20
+        word |= self.funct << 25
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "RoccWord":
+        """Unpack a 32-bit word; validates the opcode."""
+        if not 0 <= word < (1 << 32):
+            raise EncodingError(f"{word:#x} is not a 32-bit word")
+        opcode = word & 0x7F
+        if opcode != CUSTOM0_OPCODE:
+            raise EncodingError(
+                f"opcode {opcode:#09b} is not custom-0 ({CUSTOM0_OPCODE:#09b})"
+            )
+        return cls(
+            funct=(word >> 25) & 0x7F,
+            rd=(word >> 7) & 0x1F,
+            rs1=(word >> 15) & 0x1F,
+            rs2=(word >> 20) & 0x1F,
+            xd=bool((word >> 14) & 1),
+            xs1=bool((word >> 13) & 1),
+            xs2=bool((word >> 12) & 1),
+            opcode=opcode,
+        )
+
+    @property
+    def mnemonic(self) -> str:
+        return FUNCT_NAMES.get(self.funct, f"q_unknown_{self.funct}")
+
+
+# ----------------------------------------------------------------------
+# Fig. 8b register payload packing
+# ----------------------------------------------------------------------
+QADDR_BITS = 39  #: quantum address space is 2^39 (paper §7.5)
+LENGTH_BITS = 64 - QADDR_BITS  #: upper 25 bits of rs2 carry the length
+
+
+def pack_qaddr_length(quantum_addr: int, length: int) -> int:
+    """rs2 payload of q_set/q_acquire: {length[24:0], qaddr[38:0]}."""
+    _check_field("quantum_addr", quantum_addr, QADDR_BITS)
+    _check_field("length", length, LENGTH_BITS)
+    return (length << QADDR_BITS) | quantum_addr
+
+
+def unpack_qaddr_length(payload: int) -> tuple[int, int]:
+    """Inverse of :func:`pack_qaddr_length` → (quantum_addr, length)."""
+    _check_field("payload", payload, 64)
+    return payload & ((1 << QADDR_BITS) - 1), payload >> QADDR_BITS

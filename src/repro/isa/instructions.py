@@ -1,0 +1,195 @@
+"""The five Qtenon instructions (paper Table 3, Fig. 8).
+
+===========  =============================================================
+q_update     host register → quantum controller cache (data path ❶, RoCC)
+q_set        host memory → quantum controller cache (data path ❷)
+q_acquire    quantum controller cache → host memory (data path ❷)
+q_gen        trigger pulse generation for pending program entries
+q_run        run the quantum program for rs1 shots; results → .measure
+===========  =============================================================
+
+Each instruction class knows its RoCC word and 64-bit register
+payloads, so streams can be encoded to machine words and decoded back
+(the reproduction's stand-in for the modified RISC-V GNU toolchain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Tuple, Type, Union
+
+from repro.isa.encoding import (
+    FUNCT_Q_ACQUIRE,
+    FUNCT_Q_GEN,
+    FUNCT_Q_RUN,
+    FUNCT_Q_SET,
+    FUNCT_Q_UPDATE,
+    RoccWord,
+    pack_qaddr_length,
+    unpack_qaddr_length,
+)
+
+
+@dataclass(frozen=True)
+class QtenonInstruction:
+    """Base class: every instruction can render word + payloads."""
+
+    mnemonic: ClassVar[str] = "?"
+    funct: ClassVar[int] = -1
+
+    def rocc_word(self) -> RoccWord:
+        raise NotImplementedError
+
+    def register_payloads(self) -> Tuple[int, int]:
+        """The (rs1, rs2) 64-bit register values the instruction reads."""
+        raise NotImplementedError
+
+    def to_assembly(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class QUpdate(QtenonInstruction):
+    """Write one 64-bit value into the public QCC at ``quantum_addr``.
+
+    Uses data path ❶ (RoCC): single-cycle, 64-bit — ideal for the
+    per-iteration parameter updates of incremental compilation.
+    """
+
+    quantum_addr: int
+    value: int
+
+    mnemonic: ClassVar[str] = "q_update"
+    funct: ClassVar[int] = FUNCT_Q_UPDATE
+
+    def rocc_word(self) -> RoccWord:
+        return RoccWord(funct=self.funct, rs1=1, rs2=2, xs1=True, xs2=True)
+
+    def register_payloads(self) -> Tuple[int, int]:
+        return self.quantum_addr, self.value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def to_assembly(self) -> str:
+        return f"q_update {self.quantum_addr:#x}, {self.value:#x}"
+
+
+@dataclass(frozen=True)
+class QSet(QtenonInstruction):
+    """Bulk copy host memory → public QCC (program upload, path ❷)."""
+
+    classical_addr: int
+    quantum_addr: int
+    length: int  #: number of 32-bit words to transfer
+
+    mnemonic: ClassVar[str] = "q_set"
+    funct: ClassVar[int] = FUNCT_Q_SET
+
+    def rocc_word(self) -> RoccWord:
+        return RoccWord(funct=self.funct, rs1=1, rs2=2, xs1=True, xs2=True)
+
+    def register_payloads(self) -> Tuple[int, int]:
+        return self.classical_addr, pack_qaddr_length(self.quantum_addr, self.length)
+
+    def to_assembly(self) -> str:
+        return (
+            f"q_set {self.classical_addr:#x}, {self.quantum_addr:#x}, {self.length}"
+        )
+
+
+@dataclass(frozen=True)
+class QAcquire(QtenonInstruction):
+    """Bulk copy public QCC (``.measure``) → host memory (path ❷)."""
+
+    classical_addr: int
+    quantum_addr: int
+    length: int  #: number of 32-bit words to transfer
+
+    mnemonic: ClassVar[str] = "q_acquire"
+    funct: ClassVar[int] = FUNCT_Q_ACQUIRE
+
+    def rocc_word(self) -> RoccWord:
+        return RoccWord(funct=self.funct, rs1=1, rs2=2, xs1=True, xs2=True, xd=True)
+
+    def register_payloads(self) -> Tuple[int, int]:
+        return self.classical_addr, pack_qaddr_length(self.quantum_addr, self.length)
+
+    def to_assembly(self) -> str:
+        return (
+            f"q_acquire {self.classical_addr:#x}, {self.quantum_addr:#x}, {self.length}"
+        )
+
+
+@dataclass(frozen=True)
+class QGen(QtenonInstruction):
+    """Run the pulse pipeline over every pending program entry."""
+
+    mnemonic: ClassVar[str] = "q_gen"
+    funct: ClassVar[int] = FUNCT_Q_GEN
+
+    def rocc_word(self) -> RoccWord:
+        return RoccWord(funct=self.funct)
+
+    def register_payloads(self) -> Tuple[int, int]:
+        return 0, 0
+
+    def to_assembly(self) -> str:
+        return "q_gen"
+
+
+@dataclass(frozen=True)
+class QRun(QtenonInstruction):
+    """Execute the loaded program ``shots`` times; write ``.measure``."""
+
+    shots: int
+
+    mnemonic: ClassVar[str] = "q_run"
+    funct: ClassVar[int] = FUNCT_Q_RUN
+
+    def __post_init__(self) -> None:
+        if self.shots <= 0:
+            raise ValueError(f"shots must be positive, got {self.shots}")
+
+    def rocc_word(self) -> RoccWord:
+        return RoccWord(funct=self.funct, rs1=1, xs1=True)
+
+    def register_payloads(self) -> Tuple[int, int]:
+        return self.shots, 0
+
+    def to_assembly(self) -> str:
+        return f"q_run {self.shots}"
+
+
+AnyInstruction = Union[QUpdate, QSet, QAcquire, QGen, QRun]
+
+_BY_FUNCT: Dict[int, Type[QtenonInstruction]] = {
+    FUNCT_Q_UPDATE: QUpdate,
+    FUNCT_Q_SET: QSet,
+    FUNCT_Q_ACQUIRE: QAcquire,
+    FUNCT_Q_GEN: QGen,
+    FUNCT_Q_RUN: QRun,
+}
+
+
+def decode_instruction(word: RoccWord, rs1_value: int, rs2_value: int) -> AnyInstruction:
+    """Rebuild a typed instruction from its RoCC word + register values."""
+    cls = _BY_FUNCT.get(word.funct)
+    if cls is None:
+        raise ValueError(f"unknown Qtenon funct {word.funct}")
+    if cls is QUpdate:
+        return QUpdate(quantum_addr=rs1_value, value=rs2_value)
+    if cls is QSet:
+        qaddr, length = unpack_qaddr_length(rs2_value)
+        return QSet(classical_addr=rs1_value, quantum_addr=qaddr, length=length)
+    if cls is QAcquire:
+        qaddr, length = unpack_qaddr_length(rs2_value)
+        return QAcquire(classical_addr=rs1_value, quantum_addr=qaddr, length=length)
+    if cls is QGen:
+        return QGen()
+    return QRun(shots=rs1_value)
+
+
+def instruction_counts(stream: List[AnyInstruction]) -> Dict[str, int]:
+    """Histogram of mnemonics — the paper's "Instruction Counts" metric."""
+    counts: Dict[str, int] = {}
+    for instruction in stream:
+        counts[instruction.mnemonic] = counts.get(instruction.mnemonic, 0) + 1
+    return counts

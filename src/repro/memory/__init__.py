@@ -1,0 +1,19 @@
+"""Classical memory substrate: caches, DRAM, TileLink bus, functional image."""
+
+from repro.memory.cache import Cache, CacheGeometry
+from repro.memory.dram import Dram, DramConfig
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.tilelink import TileLinkBus, TileLinkTransaction
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "Dram",
+    "DramConfig",
+    "MemoryImage",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+    "TileLinkBus",
+    "TileLinkTransaction",
+]

@@ -1,0 +1,99 @@
+"""Flat functional memory image.
+
+Timing (caches, buses) and function (what bytes live where) are
+deliberately split, as in most trace-driven architecture simulators:
+the caches in this package model *latency only*, while every byte of
+host DRAM, QSpace and the quantum controller cache segments lives in a
+sparse :class:`MemoryImage`.  That keeps the functional model trivially
+coherent — there is exactly one copy of the data — while the timing
+model layers hit/miss behaviour on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+class MemoryImage:
+    """Sparse byte-addressable storage (dict of 8-byte words)."""
+
+    WORD_BYTES = 8
+
+    def __init__(self, name: str = "mem") -> None:
+        self.name = name
+        self._words: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # word access
+    # ------------------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        """Read the aligned 64-bit word containing ``addr``."""
+        self._check(addr)
+        return self._words.get(addr // self.WORD_BYTES * self.WORD_BYTES, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write an aligned 64-bit word at ``addr``."""
+        self._check(addr)
+        if addr % self.WORD_BYTES:
+            raise ValueError(f"unaligned word write at {addr:#x}")
+        self._words[addr] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    # ------------------------------------------------------------------
+    # byte access
+    # ------------------------------------------------------------------
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        self._check(addr)
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        out = bytearray(length)
+        for offset in range(length):
+            byte_addr = addr + offset
+            word = self._words.get(byte_addr // self.WORD_BYTES * self.WORD_BYTES, 0)
+            out[offset] = (word >> (8 * (byte_addr % self.WORD_BYTES))) & 0xFF
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr)
+        for offset, byte in enumerate(data):
+            byte_addr = addr + offset
+            word_addr = byte_addr // self.WORD_BYTES * self.WORD_BYTES
+            shift = 8 * (byte_addr % self.WORD_BYTES)
+            word = self._words.get(word_addr, 0)
+            word = (word & ~(0xFF << shift)) | (byte & 0xFF) << shift
+            self._words[word_addr] = word
+
+    # ------------------------------------------------------------------
+    # typed helpers
+    # ------------------------------------------------------------------
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, 4), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write_bytes(addr, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write_bytes(addr, (value & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little"))
+
+    def read_u64_array(self, addr: int, count: int) -> List[int]:
+        return [self.read_u64(addr + 8 * i) for i in range(count)]
+
+    def write_u64_array(self, addr: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.write_u64(addr + 8 * i, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of words actually touched (sparse footprint)."""
+        return len(self._words) * self.WORD_BYTES
+
+    def clear(self) -> None:
+        self._words.clear()
+
+    @staticmethod
+    def _check(addr: int) -> None:
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")

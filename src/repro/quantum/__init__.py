@@ -1,0 +1,59 @@
+"""Quantum circuit substrate: gates, circuits, backends, observables."""
+
+from repro.quantum.circuit import Operation, QuantumCircuit, parameter_vector
+from repro.quantum.device import DeviceTiming, QuantumDevice
+from repro.quantum.exact import (
+    expectation as exact_expectation,
+    ground_energy,
+    ground_state,
+    pauli_string_matrix,
+    pauli_sum_matrix,
+)
+from repro.quantum.gates import (
+    GATE_LIBRARY,
+    MEASUREMENT_NS,
+    NATIVE_GATES,
+    ONE_QUBIT_NS,
+    TWO_QUBIT_NS,
+    GateSpec,
+    gate_spec,
+)
+from repro.quantum.noise import ReadoutNoise, mitigate_single_qubit_expectation
+from repro.quantum.parameters import Parameter, ParameterExpression
+from repro.quantum.pauli import MeasurementGroup, PauliString, PauliSum
+from repro.quantum.product_state import ProductState, ProductStateBackend
+from repro.quantum.sampler import SampleResult, Sampler
+from repro.quantum.statevector import Statevector, StatevectorBackend
+
+__all__ = [
+    "QuantumCircuit",
+    "Operation",
+    "parameter_vector",
+    "Parameter",
+    "ParameterExpression",
+    "GateSpec",
+    "gate_spec",
+    "GATE_LIBRARY",
+    "NATIVE_GATES",
+    "ONE_QUBIT_NS",
+    "TWO_QUBIT_NS",
+    "MEASUREMENT_NS",
+    "Statevector",
+    "StatevectorBackend",
+    "ProductState",
+    "ProductStateBackend",
+    "Sampler",
+    "SampleResult",
+    "PauliString",
+    "PauliSum",
+    "MeasurementGroup",
+    "QuantumDevice",
+    "DeviceTiming",
+    "ReadoutNoise",
+    "mitigate_single_qubit_expectation",
+    "ground_energy",
+    "ground_state",
+    "exact_expectation",
+    "pauli_string_matrix",
+    "pauli_sum_matrix",
+]

@@ -1,0 +1,110 @@
+"""Symbolic circuit parameters.
+
+Hybrid quantum-classical algorithms re-run the *same* circuit with new
+parameter values every iteration; the paper's whole software story
+(incremental compilation, `q_update`) hinges on distinguishing the
+static circuit structure from the parameters that change.  We model
+that with :class:`Parameter` (a named free variable) and
+:class:`ParameterExpression` (an affine function ``coeff * p + offset``
+of a single parameter, which is all the parameter-shift rule and the
+standard VQA ansätze require).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Parameter:
+    """A named free parameter of a circuit.
+
+    Identity (not name) distinguishes parameters, so two circuits can
+    each have a parameter called ``theta`` without aliasing, while a
+    single :class:`Parameter` object shared between gates binds as one.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+    # Arithmetic builds affine expressions.
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, coeff=float(other))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, offset=float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, offset=-float(other))
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, coeff=-1.0)
+
+    def bind(self, values: Dict["Parameter", float]) -> float:
+        if self not in values:
+            raise KeyError(f"no value bound for {self!r}")
+        return float(values[self])
+
+
+@dataclass(frozen=True)
+class ParameterExpression:
+    """Affine expression ``coeff * parameter + offset``."""
+
+    parameter: Parameter
+    coeff: float = 1.0
+    offset: float = 0.0
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, coeff=self.coeff * float(other), offset=self.offset * float(other)
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, coeff=self.coeff, offset=self.offset + float(other)
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def bind(self, values: Dict[Parameter, float]) -> float:
+        return self.coeff * self.parameter.bind(values) + self.offset
+
+
+ParamValue = Union[float, int, Parameter, ParameterExpression]
+
+
+def is_symbolic(value: ParamValue) -> bool:
+    """True when ``value`` still references a free parameter."""
+    return isinstance(value, (Parameter, ParameterExpression))
+
+
+def resolve(value: ParamValue, values: Dict[Parameter, float]) -> float:
+    """Bind a parameter value (no-op for plain numbers)."""
+    if isinstance(value, (Parameter, ParameterExpression)):
+        return value.bind(values)
+    return float(value)
+
+
+def free_parameter(value: ParamValue) -> Parameter:
+    """The underlying :class:`Parameter` of a symbolic value."""
+    if isinstance(value, Parameter):
+        return value
+    if isinstance(value, ParameterExpression):
+        return value.parameter
+    raise TypeError(f"{value!r} is not symbolic")

@@ -1,0 +1,131 @@
+"""Shot sampling and expectation estimation.
+
+The :class:`Sampler` is the functional interface every platform model
+(Qtenon and the decoupled baseline) uses to obtain measurement data:
+it picks a backend by circuit width (exact statevector when feasible,
+mean-field product state otherwise — see DESIGN.md substitutions),
+draws seeded shot counts, and estimates Pauli-sum expectations via the
+qubit-wise-commuting measurement groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise import ReadoutNoise
+from repro.quantum.pauli import MeasurementGroup, PauliSum
+from repro.quantum.product_state import ProductStateBackend
+from repro.quantum.statevector import StatevectorBackend
+from repro.quantum.stub import StubBackend
+
+#: Default crossover width between exact and product-state simulation.
+DEFAULT_EXACT_LIMIT = 14
+
+
+@dataclass
+class SampleResult:
+    """Counts from one circuit execution plus bookkeeping."""
+
+    counts: Dict[int, int]
+    shots: int
+    n_qubits: int
+    backend_name: str
+
+    def frequency(self, bitstring: int) -> float:
+        return self.counts.get(bitstring, 0) / self.shots
+
+    def expectation_z_product(self, qubits: Tuple[int, ...]) -> float:
+        """⟨Z...Z⟩ over ``qubits`` directly from counts."""
+        total = 0
+        for bitstring, count in self.counts.items():
+            parity = 1
+            for qubit in qubits:
+                if (bitstring >> qubit) & 1:
+                    parity = -parity
+            total += parity * count
+        return total / self.shots
+
+
+class Sampler:
+    """Seeded, width-adaptive shot sampler."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
+        force_backend: Optional[str] = None,
+        readout_noise: Optional["ReadoutNoise"] = None,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.exact_limit = exact_limit
+        self.force_backend = force_backend
+        self.readout_noise = readout_noise
+        self._exact = StatevectorBackend()
+        self._product = ProductStateBackend()
+        self._stub = StubBackend()
+        self.executions = 0
+        self.total_shots = 0
+
+    def backend_for(self, circuit: QuantumCircuit):
+        if self.force_backend == "statevector":
+            return self._exact
+        if self.force_backend == "product":
+            return self._product
+        if self.force_backend == "stub":
+            return self._stub
+        if circuit.n_qubits <= self.exact_limit:
+            return self._exact
+        return self._product
+
+    def run(self, circuit: QuantumCircuit, shots: int) -> SampleResult:
+        """Sample a bound circuit (readout noise applied when set)."""
+        backend = self.backend_for(circuit)
+        counts = backend.sample(circuit, shots, self.rng)
+        if self.readout_noise is not None and not self.readout_noise.is_ideal:
+            measured = circuit.measured_qubits() or list(range(circuit.n_qubits))
+            counts = self.readout_noise.apply_to_counts(
+                counts, len(set(measured)), self.rng
+            )
+        self.executions += 1
+        self.total_shots += shots
+        return SampleResult(
+            counts=counts,
+            shots=shots,
+            n_qubits=circuit.n_qubits,
+            backend_name=backend.name,
+        )
+
+    # ------------------------------------------------------------------
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable: PauliSum,
+        shots: int,
+    ) -> Tuple[float, List[SampleResult]]:
+        """Estimate ⟨observable⟩ on the state prepared by ``circuit``.
+
+        One execution per qubit-wise-commuting measurement group; the
+        returned :class:`SampleResult` list lets the timing models
+        charge the right number of circuit runs.
+        """
+        if not circuit.is_bound:
+            raise ValueError("bind the circuit before sampling")
+        groups = observable.grouped_qubitwise()
+        value = observable.constant
+        results: List[SampleResult] = []
+        for group in groups:
+            prepared = circuit.copy()
+            prepared.extend(group.basis_change_circuit(circuit.n_qubits))
+            prepared.measure_all()
+            result = self.run(prepared, shots)
+            results.append(result)
+            value += group.expectation_from_counts(result.counts)
+        return float(value), results
+
+    def circuit_executions_for(self, observable: PauliSum) -> int:
+        """How many circuit executions one expectation estimate costs."""
+        return max(1, len(observable.grouped_qubitwise()))

@@ -1,0 +1,165 @@
+"""Exact statevector backend.
+
+Dense ``2^n`` simulation used for functional validation at small qubit
+counts (the paper obtained its quantum I/O from Qiskit's simulator; we
+implement the equivalent ourselves since no quantum SDK is available
+offline).  Gates are applied by reshaping the state into a rank-``n``
+tensor and contracting the gate matrix over the target axes.
+
+Bit convention: qubit 0 is the least significant bit of a basis index,
+so basis state ``|q_{n-1} ... q_1 q_0>`` has index ``sum q_i << i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.quantum.circuit import Operation, QuantumCircuit
+
+#: Refuse to allocate statevectors beyond this width (2^26 complex128
+#: is already 1 GiB); larger circuits go to the product-state backend.
+MAX_EXACT_QUBITS = 26
+
+
+class StatevectorBackend:
+    """Exact simulator: apply a bound circuit, inspect, and sample."""
+
+    name = "statevector"
+    exact = True
+
+    def __init__(self, max_qubits: int = MAX_EXACT_QUBITS) -> None:
+        self.max_qubits = max_qubits
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit) -> "Statevector":
+        """Execute all unitary operations of a *bound* circuit."""
+        if not circuit.is_bound:
+            raise ValueError(
+                f"circuit {circuit.name!r} has unbound parameters; bind() first"
+            )
+        if circuit.n_qubits > self.max_qubits:
+            raise ValueError(
+                f"{circuit.n_qubits} qubits exceeds exact-backend limit "
+                f"{self.max_qubits}; use ProductStateBackend"
+            )
+        state = Statevector.zero_state(circuit.n_qubits)
+        for op in circuit.operations:
+            if op.is_measurement:
+                continue  # terminal measurement; sampling reads probabilities
+            state.apply(op)
+        return state
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: np.random.Generator,
+    ) -> Dict[int, int]:
+        """Counts of measured bitstrings (as little-endian integers)."""
+        state = self.run(circuit)
+        measured = circuit.measured_qubits() or list(range(circuit.n_qubits))
+        return state.sample_counts(shots, rng, qubits=measured)
+
+
+class Statevector:
+    """A dense quantum state with in-place gate application."""
+
+    def __init__(self, amplitudes: np.ndarray, n_qubits: int) -> None:
+        expected = 1 << n_qubits
+        if amplitudes.shape != (expected,):
+            raise ValueError(
+                f"amplitude vector has shape {amplitudes.shape}, expected ({expected},)"
+            )
+        self.n_qubits = n_qubits
+        self.amplitudes = amplitudes.astype(complex, copy=False)
+
+    @classmethod
+    def zero_state(cls, n_qubits: int) -> "Statevector":
+        amplitudes = np.zeros(1 << n_qubits, dtype=complex)
+        amplitudes[0] = 1.0
+        return cls(amplitudes, n_qubits)
+
+    # ------------------------------------------------------------------
+    # gate application
+    # ------------------------------------------------------------------
+    def apply(self, op: Operation) -> None:
+        matrix = op.spec.matrix(*(float(p) for p in op.params))
+        if op.spec.n_qubits == 1:
+            self._apply_matrix(matrix, op.qubits)
+        elif op.spec.n_qubits == 2:
+            self._apply_matrix(matrix, op.qubits)
+        else:  # pragma: no cover - no >2q gates in the library
+            raise NotImplementedError(f"{op.spec.n_qubits}-qubit gates")
+
+    def _apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Contract ``matrix`` over the axes corresponding to ``qubits``.
+
+        The state is viewed as a tensor with axis 0 = qubit ``n-1`` ...
+        axis ``n-1`` = qubit 0 (C-order reshape of the little-endian
+        vector).  A gate on qubit ``q`` therefore acts on axis
+        ``n - 1 - q``.
+        """
+        n = self.n_qubits
+        k = len(qubits)
+        axes = [n - 1 - q for q in qubits]
+        tensor = self.amplitudes.reshape((2,) * n)
+        gate = matrix.reshape((2,) * (2 * k))
+        # tensordot contracts gate's *input* axes (last k) with the state.
+        moved = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
+        # tensordot puts the gate's output axes first; move them home.
+        tensor = np.moveaxis(moved, list(range(k)), axes)
+        self.amplitudes = np.ascontiguousarray(tensor).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # inspection & sampling
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.amplitudes) ** 2
+
+    def norm(self) -> float:
+        return float(np.sqrt(np.sum(self.probabilities())))
+
+    def probability_of(self, basis_index: int) -> float:
+        return float(abs(self.amplitudes[basis_index]) ** 2)
+
+    def marginal_probability_one(self, qubit: int) -> float:
+        """P(qubit == 1)."""
+        probs = self.probabilities()
+        indices = np.arange(probs.size)
+        mask = (indices >> qubit) & 1
+        return float(probs[mask == 1].sum())
+
+    def expectation_z(self, qubit: int) -> float:
+        """⟨Z⟩ on one qubit."""
+        return 1.0 - 2.0 * self.marginal_probability_one(qubit)
+
+    def sample_counts(
+        self,
+        shots: int,
+        rng: np.random.Generator,
+        qubits: Optional[Iterable[int]] = None,
+    ) -> Dict[int, int]:
+        """Sample ``shots`` outcomes; keys are little-endian integers over
+        the (sorted) ``qubits`` subset, bit *i* of the key = i-th qubit in
+        the sorted subset."""
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        probs = self.probabilities()
+        probs = probs / probs.sum()  # guard tiny fp drift
+        outcomes = rng.choice(probs.size, size=shots, p=probs)
+        subset = sorted(set(qubits)) if qubits is not None else list(range(self.n_qubits))
+        counts: Dict[int, int] = {}
+        for outcome in outcomes:
+            key = 0
+            for position, qubit in enumerate(subset):
+                key |= ((int(outcome) >> qubit) & 1) << position
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def inner(self, other: "Statevector") -> complex:
+        return complex(np.vdot(self.amplitudes, other.amplitudes))
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.amplitudes.copy(), self.n_qubits)

@@ -1,0 +1,66 @@
+"""Timing-mode stub backend.
+
+Large parameter sweeps (Fig. 11/12/17 reproduce 8–320 qubits x three
+algorithms x two optimizers) need thousands of circuit evaluations
+whose *timing* matters but whose quantum amplitudes do not — exactly
+like the paper, which standardises quantum time analytically and takes
+chip I/O from a simulator.  :class:`StubBackend` returns uniformly
+random measurement outcomes in O(shots) without touching the circuit's
+gates, keeping every architectural code path (shot records, batching,
+.measure traffic, expectation post-processing) live while making the
+sweep benches tractable.
+
+Functional benches and tests use the exact statevector / product-state
+backends instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+
+
+class StubBackend:
+    """Uniform random outcomes; O(shots) per execution."""
+
+    name = "stub"
+    exact = False
+
+    def run(self, circuit: QuantumCircuit) -> None:
+        """No state is maintained; present for API parity."""
+        if not circuit.is_bound:
+            raise ValueError(
+                f"circuit {circuit.name!r} has unbound parameters; bind() first"
+            )
+        return None
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: np.random.Generator,
+    ) -> Dict[int, int]:
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        measured = circuit.measured_qubits() or list(range(circuit.n_qubits))
+        n = len(set(measured))
+        if n <= 62:
+            keys = rng.integers(0, 1 << n, size=shots, dtype=np.uint64)
+            counts: Dict[int, int] = {}
+            for key in keys:
+                key = int(key)
+                counts[key] = counts.get(key, 0) + 1
+            return counts
+        # Wide registers: draw per-qubit bits and fold into Python ints.
+        draws = rng.random((shots, n)) < 0.5
+        counts = {}
+        for row in draws:
+            key = 0
+            for position, bit in enumerate(row):
+                if bit:
+                    key |= 1 << position
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,70 @@
+"""Clock-domain helpers.
+
+Qtenon's models span three clock domains (paper §5.2 and Table 4): the
+1 GHz host/RoCC domain, the 200 MHz quantum-controller SRAM domain, and
+the 2 GHz DAC/SerDes output domain.  A :class:`Clock` converts between
+cycles and the kernel's picosecond timebase so component code can speak
+in cycles while events remain in a single global timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.kernel import PS_PER_S
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A fixed-frequency clock domain.
+
+    Parameters
+    ----------
+    freq_hz:
+        Frequency in hertz.  Must divide evenly into an integer
+        picosecond period (true for every frequency used here).
+    name:
+        Label used in reports.
+    """
+
+    freq_hz: int
+    name: str = "clock"
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {self.freq_hz}")
+        if PS_PER_S % self.freq_hz != 0:
+            raise ValueError(
+                f"{self.freq_hz} Hz does not have an integer picosecond period"
+            )
+
+    @property
+    def period_ps(self) -> int:
+        """One cycle, in picoseconds."""
+        return PS_PER_S // self.freq_hz
+
+    def cycles_to_ps(self, cycles: int) -> int:
+        """Duration of ``cycles`` cycles in picoseconds."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle count {cycles}")
+        return cycles * self.period_ps
+
+    def ps_to_cycles(self, ps: int) -> int:
+        """Whole cycles that fit in ``ps`` picoseconds (floor)."""
+        if ps < 0:
+            raise ValueError(f"negative duration {ps}")
+        return ps // self.period_ps
+
+    def next_edge(self, now_ps: int) -> int:
+        """Timestamp of the first rising edge at or after ``now_ps``."""
+        period = self.period_ps
+        remainder = now_ps % period
+        if remainder == 0:
+            return now_ps
+        return now_ps + (period - remainder)
+
+
+#: The clock domains used across the Qtenon models (paper Table 4/§5.2).
+HOST_CLOCK = Clock(1_000_000_000, "host-1GHz")
+QCC_SRAM_CLOCK = Clock(200_000_000, "qcc-sram-200MHz")
+DAC_CLOCK = Clock(2_000_000_000, "dac-2GHz")

@@ -1,0 +1,81 @@
+"""Base class for timed architectural components.
+
+A :class:`Component` owns a :class:`~repro.sim.stats.StatGroup` and a
+reference to the shared :class:`~repro.sim.kernel.Simulator`.  Two
+resource-modelling helpers cover the patterns the Qtenon models need:
+
+* :class:`BusyResource` — a unit-capacity (or N-capacity) server with
+  FIFO backpressure, used for PGUs and bus ports.  Because most of our
+  models compute latencies in closed form per transaction, the resource
+  tracks *next-free timestamps* rather than simulating each cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatGroup
+
+
+class Component:
+    """A named model element bound to a simulator."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BusyResource(Component):
+    """N identical servers with earliest-available dispatch.
+
+    ``acquire(start, service)`` returns ``(begin, end)``: the request
+    begins at the max of ``start`` and the earliest server-free time,
+    occupies one server for ``service`` ps, and the server's next-free
+    time advances.  This reproduces the paper's PGU pool semantics
+    (Fig. 6): when all 8 PGUs are busy, upstream pipeline stages stall
+    until one frees up.
+    """
+
+    def __init__(self, sim: Simulator, name: str, servers: int) -> None:
+        super().__init__(sim, name)
+        if servers <= 0:
+            raise ValueError(f"{name}: need at least one server")
+        self._free_at: List[int] = [0] * servers
+        self._busy_counter = self.stats.counter("requests")
+        self._wait_acc = self.stats.accumulator("wait_ps")
+
+    @property
+    def servers(self) -> int:
+        return len(self._free_at)
+
+    def earliest_free(self) -> int:
+        """Earliest time any server becomes free."""
+        return min(self._free_at)
+
+    def acquire(self, start: int, service: int) -> tuple[int, int]:
+        """Reserve the earliest-free server at or after ``start``.
+
+        Returns the (begin, end) interval of the reservation.
+        """
+        if service < 0:
+            raise ValueError("negative service time")
+        index = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        begin = max(start, self._free_at[index])
+        end = begin + service
+        self._free_at[index] = end
+        self._busy_counter.increment()
+        self._wait_acc.observe(begin - start)
+        return begin, end
+
+    def all_idle_at(self) -> int:
+        """Time when every server has drained its queue."""
+        return max(self._free_at)
+
+    def reset(self) -> None:
+        self._free_at = [0] * len(self._free_at)
+        self.stats.reset()

@@ -1,0 +1,260 @@
+"""Discrete-event simulation kernel.
+
+This is the timing substrate every architectural model in the
+reproduction is built on.  The paper evaluates Qtenon with FireSim, a
+cycle-exact FPGA-accelerated simulator; we replace it with a classic
+discrete-event simulator (DES) operating at picosecond resolution.
+Components schedule callbacks on a global event heap; the kernel pops
+events in time order (ties broken by insertion order, so the model is
+deterministic).
+
+Times are integers in **picoseconds** throughout.  Clock-domain
+components convert cycles to picoseconds through :class:`repro.sim.clock.Clock`.
+Integer time avoids the floating-point drift that plagues ns-float
+simulators once a run accumulates millions of events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Convenience conversion constants (picoseconds per unit).
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return int(round(value * PS_PER_NS))
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return int(round(value * PS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds."""
+    return int(round(value * PS_PER_MS))
+
+
+def to_ns(ps: int) -> float:
+    """Convert picoseconds to (float) nanoseconds."""
+    return ps / PS_PER_NS
+
+
+def to_us(ps: int) -> float:
+    """Convert picoseconds to (float) microseconds."""
+    return ps / PS_PER_US
+
+
+def to_ms(ps: int) -> float:
+    """Convert picoseconds to (float) milliseconds."""
+    return ps / PS_PER_MS
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, etc.)."""
+
+
+@dataclass(order=True)
+class _Event:
+    """Internal heap entry.
+
+    ``sort_index`` is (time, sequence) so that two events at the same
+    timestamp fire in scheduling order — this makes runs reproducible.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the kernel will skip it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Global event queue and simulated clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule_at(ns(10), lambda: print("fired at 10ns"))
+        sim.run()
+
+    The kernel offers three scheduling forms (absolute, relative, and
+    immediate), event cancellation, and a bounded ``run(until=...)``.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at absolute time ``time`` (ps)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} ps; current time is {self._now} ps"
+            )
+        event = _Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` after a relative ``delay`` (ps)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} ps")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_now(self, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at the current timestamp (after the
+        currently executing event completes)."""
+        return self.schedule_at(self._now, callback)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``False`` when the heap is empty, ``True`` otherwise.
+        Cancelled events are discarded without executing.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` ps is reached, or
+        ``max_events`` have executed.  Returns the final time."""
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def advance_to(self, time: int) -> None:
+        """Jump the clock forward without executing events.
+
+        Only legal when nothing is pending before ``time``; used by
+        analytic components that compute a latency in closed form.
+        """
+        if time < self._now:
+            raise SimulationError("cannot move time backwards")
+        for event in self._heap:
+            if not event.cancelled and event.time < time:
+                raise SimulationError(
+                    "advance_to() would skip a pending event at "
+                    f"{event.time} ps"
+                )
+        self._now = time
+
+
+class Process:
+    """A resumable activity built from generator functions.
+
+    A process generator yields integer delays (ps); the kernel resumes
+    it after each delay.  Yielding another :class:`Process` joins it
+    (resumes when the child finishes).  This gives SimPy-style
+    coroutine modelling on top of the raw event heap::
+
+        def worker(sim):
+            yield ns(5)        # wait 5 ns
+            do_something()
+            yield ns(3)
+
+        Process(sim, worker(sim))
+        sim.run()
+    """
+
+    def __init__(self, sim: Simulator, generator: Any, name: str = "process") -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self._waiters: list[Callable[[], None]] = []
+        sim.schedule_now(self._resume)
+
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` when the process finishes (immediately if
+        already finished)."""
+        if self.finished:
+            self.sim.schedule_now(callback)
+        else:
+            self._waiters.append(callback)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule_now(waiter)
+
+    def _resume(self) -> None:
+        try:
+            yielded = next(self._generator)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        if isinstance(yielded, Process):
+            yielded.add_done_callback(self._resume)
+        elif isinstance(yielded, int):
+            self.sim.schedule_after(yielded, self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected int delay (ps) or Process"
+            )

@@ -1,0 +1,157 @@
+"""Statistics primitives shared by all timing models.
+
+Every architectural component in the reproduction reports through these
+three primitives:
+
+* :class:`Counter` — monotonically increasing event counts (cache hits,
+  PUT requests issued, SLT evictions, ...).
+* :class:`Accumulator` — sums of sampled values with min/max/mean
+  (queue depths, batch sizes, ...).
+* :class:`TimeBucket` — accumulated busy time per named category; the
+  backbone of the paper's time breakdowns (quantum execution / pulse
+  generation / host computation / quantum-host communication).
+
+A :class:`StatGroup` namespaces them per component and renders a flat
+``dict`` for reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only move forward; use Accumulator for signed data")
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class Accumulator:
+    """Running sum / count / min / max of observed samples."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.minimum = None
+        self.maximum = None
+
+
+@dataclass
+class TimeBucket:
+    """Accumulated busy time (ps) per category.
+
+    The categories mirror the paper's end-to-end breakdown (Fig. 13):
+    ``quantum``, ``pulse_gen``, ``host_compute``, ``comm``.  Components
+    are free to add finer-grained categories; reports aggregate.
+    """
+
+    name: str
+    buckets: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, category: str, duration_ps: int) -> None:
+        if duration_ps < 0:
+            raise ValueError(f"negative duration {duration_ps} for {category!r}")
+        self.buckets[category] = self.buckets.get(category, 0) + duration_ps
+
+    def get(self, category: str) -> int:
+        return self.buckets.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def fraction(self, category: str) -> float:
+        """Share of ``category`` in the total accumulated time."""
+        total = self.total
+        return self.get(category) / total if total else 0.0
+
+    def merged_with(self, other: "TimeBucket") -> "TimeBucket":
+        merged = TimeBucket(self.name, dict(self.buckets))
+        for category, duration in other.buckets.items():
+            merged.add(category, duration)
+        return merged
+
+    def reset(self) -> None:
+        self.buckets.clear()
+
+
+class StatGroup:
+    """A namespace of counters/accumulators/time buckets for one component."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._accumulators: Dict[str, Accumulator] = {}
+        self._time_buckets: Dict[str, TimeBucket] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create a counter."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        """Get-or-create an accumulator."""
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator(name)
+        return self._accumulators[name]
+
+    def time_bucket(self, name: str) -> TimeBucket:
+        """Get-or-create a time bucket."""
+        if name not in self._time_buckets:
+            self._time_buckets[name] = TimeBucket(name)
+        return self._time_buckets[name]
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to ``{"component.stat": value}`` for reports."""
+        out: Dict[str, float] = {}
+        for counter in self._counters.values():
+            out[f"{self.name}.{counter.name}"] = counter.value
+        for acc in self._accumulators.values():
+            out[f"{self.name}.{acc.name}.mean"] = acc.mean
+            out[f"{self.name}.{acc.name}.count"] = acc.count
+        for bucket in self._time_buckets.values():
+            for category, duration in bucket.buckets.items():
+                out[f"{self.name}.{bucket.name}.{category}"] = duration
+        return out
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for acc in self._accumulators.values():
+            acc.reset()
+        for bucket in self._time_buckets.values():
+            bucket.reset()

@@ -1,0 +1,121 @@
+"""Ansatz builders for the three benchmark VQAs (paper §7.1).
+
+* :func:`qaoa_ansatz` — the standard alternating ansatz, 5 layers by
+  default: H on every qubit, then per layer ``RZZ(2 gamma_l)`` on every
+  edge and ``RX(2 beta_l)`` on every qubit;
+* :func:`hardware_efficient_ansatz` — layered single-qubit rotations
+  with a CZ entangling ladder, used for VQE;
+* :func:`qnn_ansatz` — "alternating Ry(theta) and CZ gates in 2 layers"
+  with an input-encoding layer in front.
+
+Each builder returns ``(circuit, parameters)`` with parameters in a
+stable order (what the optimizers index over).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.parameters import Parameter
+
+AnsatzResult = Tuple[QuantumCircuit, List[Parameter]]
+
+
+def qaoa_ansatz(graph: nx.Graph, n_layers: int = 5) -> AnsatzResult:
+    """The standard QAOA alternating ansatz for MAX-CUT."""
+    if n_layers <= 0:
+        raise ValueError(f"need at least one layer, got {n_layers}")
+    n_qubits = graph.number_of_nodes()
+    circuit = QuantumCircuit(n_qubits, name=f"qaoa-p{n_layers}")
+    parameters: List[Parameter] = []
+
+    for qubit in range(n_qubits):
+        circuit.h(qubit)
+    for layer in range(n_layers):
+        gamma = Parameter(f"gamma[{layer}]")
+        beta = Parameter(f"beta[{layer}]")
+        parameters.extend((gamma, beta))
+        for u, v in graph.edges():
+            circuit.rzz(2.0 * gamma, int(u), int(v))
+        for qubit in range(n_qubits):
+            circuit.rx(2.0 * beta, qubit)
+    return circuit, parameters
+
+
+def hardware_efficient_ansatz(
+    n_qubits: int,
+    n_layers: int = 2,
+    rotations: Sequence[str] = ("ry", "rz"),
+) -> AnsatzResult:
+    """Layered rotations + CZ ladder (the paper's VQE ansatz family)."""
+    if n_qubits <= 0:
+        raise ValueError(f"need at least one qubit, got {n_qubits}")
+    if n_layers <= 0:
+        raise ValueError(f"need at least one layer, got {n_layers}")
+    for rotation in rotations:
+        if rotation not in ("rx", "ry", "rz"):
+            raise ValueError(f"unsupported rotation {rotation!r}")
+    circuit = QuantumCircuit(n_qubits, name=f"hea-l{n_layers}")
+    parameters: List[Parameter] = []
+
+    for layer in range(n_layers):
+        for rotation in rotations:
+            for qubit in range(n_qubits):
+                theta = Parameter(f"{rotation}[{layer}][{qubit}]")
+                parameters.append(theta)
+                getattr(circuit, rotation)(theta, qubit)
+        for qubit in range(0, n_qubits - 1, 2):
+            circuit.cz(qubit, qubit + 1)
+        for qubit in range(1, n_qubits - 1, 2):
+            circuit.cz(qubit, qubit + 1)
+    # Final rotation layer so every qubit is trainable after the last ladder.
+    for qubit in range(n_qubits):
+        theta = Parameter(f"{rotations[0]}[{n_layers}][{qubit}]")
+        parameters.append(theta)
+        getattr(circuit, rotations[0])(theta, qubit)
+    return circuit, parameters
+
+
+def vqe_ansatz(n_qubits: int, n_layers: int = 2) -> AnsatzResult:
+    """The VQE benchmark ansatz (RY+RZ hardware-efficient layers)."""
+    return hardware_efficient_ansatz(n_qubits, n_layers, rotations=("ry", "rz"))
+
+
+def qnn_ansatz(
+    n_qubits: int,
+    n_layers: int = 2,
+    features: Optional[Sequence[float]] = None,
+) -> AnsatzResult:
+    """QNN: feature encoding + alternating Ry(theta)/CZ layers (§7.1).
+
+    ``features`` (fixed input-encoding angles) default to a smooth
+    deterministic embedding so examples run without a dataset.
+    """
+    if n_qubits <= 0:
+        raise ValueError(f"need at least one qubit, got {n_qubits}")
+    circuit = QuantumCircuit(n_qubits, name=f"qnn-l{n_layers}")
+    parameters: List[Parameter] = []
+
+    if features is None:
+        features = [np.pi * (qubit + 1) / (n_qubits + 1) for qubit in range(n_qubits)]
+    if len(features) != n_qubits:
+        raise ValueError(
+            f"need {n_qubits} feature angles, got {len(features)}"
+        )
+    for qubit, angle in enumerate(features):
+        circuit.ry(float(angle), qubit)
+
+    for layer in range(n_layers):
+        for qubit in range(n_qubits):
+            theta = Parameter(f"theta[{layer}][{qubit}]")
+            parameters.append(theta)
+            circuit.ry(theta, qubit)
+        for qubit in range(0, n_qubits - 1, 2):
+            circuit.cz(qubit, qubit + 1)
+        for qubit in range(1, n_qubits - 1, 2):
+            circuit.cz(qubit, qubit + 1)
+    return circuit, parameters

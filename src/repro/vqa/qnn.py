@@ -1,0 +1,34 @@
+"""QNN benchmark workload (hardware-efficient variational classifier).
+
+Paper §7.1: "QNN is implemented through hardware-efficient ansatz with
+alternating Ry(theta) and CZ gates in 2 layers."  The training cost is
+label alignment of a readout-qubit observable — the canonical
+variational-classifier objective, giving the same per-iteration
+structure (dense trainable rotations, diagonal observable) the paper's
+QNN exhibits: many parameters, frequent updates, heavy communication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.vqa.ansatz import qnn_ansatz
+from repro.vqa.hamiltonians import qnn_readout_observable
+from repro.vqa.qaoa import VqaWorkload
+
+
+def qnn_workload(
+    n_qubits: int,
+    n_layers: int = 2,
+    features: Optional[Sequence[float]] = None,
+    n_readout: Optional[int] = None,
+) -> VqaWorkload:
+    """Build the paper's QNN benchmark instance."""
+    circuit, parameters = qnn_ansatz(n_qubits, n_layers, features)
+    return VqaWorkload(
+        name="qnn",
+        n_qubits=n_qubits,
+        ansatz=circuit,
+        parameters=parameters,
+        observable=qnn_readout_observable(n_qubits, n_readout),
+    )

@@ -1,0 +1,42 @@
+"""VQE benchmark workload (molecular-style ground-state search).
+
+Paper §7.1: "VQE is applied to molecular ground state simulations,
+where the number of qubits corresponds to the number of molecular
+spin-orbitals."  Real electronic-structure integrals are unavailable
+offline, so the observable is the synthetic molecular-shaped
+Hamiltonian of :func:`repro.vqa.hamiltonians.molecular_hamiltonian`
+(see DESIGN.md substitutions); the tiny exact H2 instance is kept for
+physics validation.
+"""
+
+from __future__ import annotations
+
+from repro.vqa.ansatz import vqe_ansatz
+from repro.vqa.hamiltonians import h2_minimal_hamiltonian, molecular_hamiltonian
+from repro.vqa.qaoa import VqaWorkload
+
+
+def vqe_workload(n_qubits: int, n_layers: int = 2, seed: int = 0) -> VqaWorkload:
+    """Build the paper's VQE benchmark instance at ``n_qubits``
+    spin-orbitals."""
+    circuit, parameters = vqe_ansatz(n_qubits, n_layers)
+    return VqaWorkload(
+        name="vqe",
+        n_qubits=n_qubits,
+        ansatz=circuit,
+        parameters=parameters,
+        observable=molecular_hamiltonian(n_qubits, seed=seed),
+    )
+
+
+def h2_workload(n_layers: int = 2) -> VqaWorkload:
+    """2-qubit H2 VQE with the exact textbook Hamiltonian — small
+    enough for statevector validation of the whole stack."""
+    circuit, parameters = vqe_ansatz(2, n_layers)
+    return VqaWorkload(
+        name="vqe-h2",
+        n_qubits=2,
+        ansatz=circuit,
+        parameters=parameters,
+        observable=h2_minimal_hamiltonian(),
+    )

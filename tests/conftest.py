@@ -1,0 +1,9 @@
+"""Test-suite conftest: markers and shared fixtures."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end tests (examples, sweeps)"
+    )

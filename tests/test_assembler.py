@@ -1,0 +1,78 @@
+"""Tests for the Qtenon assembler / disassembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    QAcquire,
+    QGen,
+    QRun,
+    QSet,
+    QUpdate,
+    assemble,
+    disassemble,
+    emit,
+    parse_line,
+    parse_program,
+)
+
+
+class TestParsing:
+    def test_all_mnemonics(self):
+        program = parse_program(
+            """
+            q_set 0x1000, 0x0, 96
+            q_update 0x70000, 0xdead
+            q_gen
+            q_run 500
+            q_acquire 0x20000000, 0x71000, 64
+            """
+        )
+        assert [type(i) for i in program] == [QSet, QUpdate, QGen, QRun, QAcquire]
+
+    def test_comments_and_blank_lines_skipped(self):
+        program = parse_program("# header\n\nq_gen  # trailing comment\n")
+        assert program == [QGen()]
+
+    def test_decimal_operands(self):
+        instr = parse_line("q_set 4096, 0, 96")
+        assert instr == QSet(classical_addr=4096, quantum_addr=0, length=96)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            parse_line("q_teleport 1, 2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 2"):
+            parse_line("q_update 0x1")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError, match="not an integer"):
+            parse_line("q_run lots")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            parse_program("q_gen\nq_gen\nbogus 1\n")
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_is_identity(self):
+        source = "\n".join(
+            [
+                "q_set 0x1000, 0x0, 96",
+                "q_update 0x70000, 0x3243f",
+                "q_gen",
+                "q_run 500",
+                "q_acquire 0x20000000, 0x71000, 64",
+            ]
+        )
+        triples = assemble(source)
+        assert disassemble(triples).lower() == source.lower()
+
+    def test_emit_matches_parse(self):
+        stream = [QSet(0x10, 0x0, 3), QGen(), QRun(7)]
+        assert parse_program(emit(stream)) == stream
+
+    def test_machine_words_are_32_bit(self):
+        for triple in assemble("q_gen\nq_run 10"):
+            assert 0 <= triple.word < (1 << 32)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "qaoa"])
+        assert args.workload == "qaoa"
+        assert args.qubits == 8
+        assert args.optimizer == "spsa"
+        assert not args.compare
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "grover"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "5.66 MB" in out
+        assert "20 / 40 ns" in out
+
+    def test_run_single_platform(self, capsys):
+        code = main([
+            "run", "qaoa", "--qubits", "5", "--iterations", "1",
+            "--shots", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qtenon-boom-large" in out
+        assert "best cost" in out
+
+    def test_run_compare(self, capsys):
+        code = main([
+            "run", "qnn", "--qubits", "5", "--iterations", "1",
+            "--shots", "50", "--compare",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "end-to-end speedup" in out
+        assert "decoupled" in out
+
+    def test_run_baseline_platform(self, capsys):
+        code = main([
+            "run", "vqe", "--qubits", "4", "--iterations", "1",
+            "--shots", "50", "--platform", "baseline",
+        ])
+        assert code == 0
+        assert "decoupled" in capsys.readouterr().out
+
+    def test_timing_only_wide(self, capsys):
+        code = main([
+            "run", "qaoa", "--qubits", "32", "--iterations", "1",
+            "--shots", "100", "--timing-only",
+        ])
+        assert code == 0
+
+    def test_rocket_core(self, capsys):
+        code = main([
+            "run", "qaoa", "--qubits", "5", "--iterations", "1",
+            "--shots", "50", "--core", "rocket",
+        ])
+        assert code == 0
+        assert "rocket" in capsys.readouterr().out

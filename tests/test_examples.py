@@ -1,0 +1,72 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example is executed in-process (imported as a module and its
+``main()`` called) with stdout captured, and a few landmark strings
+are checked so a silent regression in an example's output is caught.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    spec.loader.exec_module(module)
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "end-to-end speedup" in output
+        assert "Qtenon" in output and "decoupled baseline" in output
+
+    def test_vqe_molecule(self):
+        output = run_example("vqe_molecule.py")
+        assert "exact electronic ground energy: -1.85" in output
+        assert "SLT hit rate" in output
+
+    def test_qnn_classifier(self):
+        output = run_example("qnn_classifier.py")
+        assert "gradient descent" in output
+        assert "SPSA" in output
+
+    def test_isa_programming(self):
+        output = run_example("isa_programming.py")
+        assert "q_set" in output
+        assert "pulses generated" in output
+        assert "total simulated time" in output
+
+    def test_ablation_study(self):
+        output = run_example("ablation_study.py")
+        assert "full Qtenon" in output
+        assert "decoupled baseline" in output
+
+    def test_scalability_study(self):
+        output = run_example("scalability_study.py")
+        assert "hardware feasibility" in output
+        assert "rate-balanced" in output
+
+    def test_timeline_trace(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        output = run_example("timeline_trace.py")
+        assert "Fig. 9(b) overlap" in output
+        assert (tmp_path / "qtenon_timeline.json").exists()
+
+    def test_noisy_readout(self):
+        output = run_example("noisy_readout.py")
+        assert "contraction factor" in output
+        assert "mitigated" in output

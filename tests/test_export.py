@@ -1,0 +1,86 @@
+"""Tests for report JSON/CSV export."""
+
+import pytest
+
+from repro.analysis import (
+    ExecutionReport,
+    TimeBreakdown,
+    from_json,
+    reports_to_csv,
+    to_json,
+)
+
+
+def make_report():
+    report = ExecutionReport(platform="qtenon-test")
+    report.breakdown = TimeBreakdown(quantum_ps=900, comm_ps=50, host_compute_ps=30, pulse_gen_ps=20)
+    report.busy = TimeBreakdown(quantum_ps=900, comm_ps=500, host_compute_ps=300, pulse_gen_ps=20)
+    report.end_to_end_ps = 1000
+    report.iterations = 3
+    report.evaluations = 9
+    report.total_shots = 4500
+    report.comm_by_instruction = {"q_set": 10, "q_update": 5, "q_acquire": 35}
+    report.instruction_counts = {"q_run": 9, "q_gen": 9}
+    report.pulses_generated = 42
+    report.pulse_entries_processed = 100
+    report.slt_hits = 58
+    report.energies = [-1.0, -1.5, -1.8]
+    report.extra = {"slt_hit_rate": 0.58}
+    return report
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = make_report()
+        restored = from_json(to_json(original))
+        assert restored.platform == original.platform
+        assert restored.end_to_end_ps == original.end_to_end_ps
+        assert restored.breakdown.as_dict() == original.breakdown.as_dict()
+        assert restored.busy.as_dict() == original.busy.as_dict()
+        assert restored.comm_by_instruction == original.comm_by_instruction
+        assert restored.instruction_counts == original.instruction_counts
+        assert restored.energies == original.energies
+        assert restored.extra == original.extra
+
+    def test_derived_metrics_survive(self):
+        restored = from_json(to_json(make_report()))
+        assert restored.quantum_fraction == pytest.approx(0.9)
+        assert restored.compute_reduction == pytest.approx(0.58)
+
+    def test_json_is_valid_and_sorted(self):
+        import json
+
+        data = json.loads(to_json(make_report()))
+        assert data["platform"] == "qtenon-test"
+
+    def test_real_report_round_trips(self):
+        from repro import QtenonSystem
+        from repro.vqa import qaoa_workload
+
+        wl = qaoa_workload(5, n_layers=1)
+        system = QtenonSystem(5)
+        system.prepare(wl.ansatz, wl.observable)
+        system.evaluate({p: 0.2 for p in wl.parameters}, 50)
+        report = system.finish()
+        restored = from_json(to_json(report))
+        assert restored.end_to_end_ps == report.end_to_end_ps
+        assert restored.breakdown.as_dict() == report.breakdown.as_dict()
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = reports_to_csv([make_report(), make_report()])
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("platform,end_to_end_ps")
+        assert "qtenon-test" in lines[1]
+
+    def test_breakdown_columns_present(self):
+        text = reports_to_csv([make_report()])
+        header = text.splitlines()[0]
+        for column in ("exposed_quantum_ps", "busy_comm_ps", "quantum_fraction"):
+            assert column in header
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reports_to_csv([])

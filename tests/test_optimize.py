@@ -1,0 +1,143 @@
+"""Tests for the peephole circuit optimiser."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import gates_saved, optimize
+from repro.quantum import Parameter, QuantumCircuit, StatevectorBackend
+
+
+def equivalent(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    backend = StatevectorBackend()
+    return abs(backend.run(a).inner(backend.run(b))) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRotationFusion:
+    def test_adjacent_same_axis_merge(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rz(0.4, 0)
+        opt = optimize(qc)
+        assert len(opt) == 1
+        assert opt.operations[0].params[0] == pytest.approx(0.7)
+        assert equivalent(qc, opt)
+
+    def test_different_axes_do_not_merge(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rx(0.4, 0)
+        assert len(optimize(qc)) == 2
+
+    def test_interleaved_other_qubit_still_merges(self):
+        qc = QuantumCircuit(2).rz(0.3, 0).rx(0.5, 1).rz(0.4, 0)
+        opt = optimize(qc)
+        assert opt.count_ops() == {"rz": 1, "rx": 1}
+        assert equivalent(qc, opt)
+
+    def test_intervening_gate_on_same_qubit_blocks_fusion(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rx(0.1, 0).rz(0.4, 0)
+        assert len(optimize(qc)) == 3
+
+    def test_symbolic_same_parameter_merges(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1).rz(theta, 0).rz(2 * theta, 0)
+        opt = optimize(qc)
+        assert len(opt) == 1
+        bound = opt.bind({theta: 0.5})
+        assert bound.operations[0].params[0] == pytest.approx(1.5)
+
+    def test_symbolic_different_parameters_do_not_merge(self):
+        qc = QuantumCircuit(1).rz(Parameter("a"), 0).rz(Parameter("b"), 0)
+        assert len(optimize(qc)) == 2
+
+    def test_symbolic_plus_numeric_does_not_merge(self):
+        qc = QuantumCircuit(1).rz(Parameter("a"), 0).rz(0.5, 0)
+        assert len(optimize(qc)) == 2
+
+
+class TestSelfInverseCancellation:
+    def test_double_h_cancels(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert len(optimize(qc)) == 0
+
+    def test_double_cz_cancels(self):
+        qc = QuantumCircuit(2).cz(0, 1).cz(0, 1)
+        assert len(optimize(qc)) == 0
+
+    def test_cz_cancels_under_operand_swap(self):
+        qc = QuantumCircuit(2).cz(0, 1).cz(1, 0)
+        assert len(optimize(qc)) == 0
+
+    def test_cx_does_not_cancel_under_swap(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert len(optimize(qc)) == 2
+
+    def test_intervening_gate_blocks_cancellation(self):
+        qc = QuantumCircuit(2).cz(0, 1).rx(0.2, 0).cz(0, 1)
+        opt = optimize(qc)
+        assert opt.count_ops()["cz"] == 2
+        assert equivalent(qc, opt)
+
+    def test_disjoint_gate_does_not_block(self):
+        qc = QuantumCircuit(3).h(0).rx(0.2, 2).h(0)
+        opt = optimize(qc)
+        assert "h" not in opt.count_ops()
+        assert equivalent(qc, opt)
+
+    def test_cascading_cancellation(self):
+        # h x x h -> h h -> empty, requires the fixed-point loop.
+        qc = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert len(optimize(qc)) == 0
+
+
+class TestNullRotations:
+    def test_zero_angle_dropped(self):
+        qc = QuantumCircuit(1).rz(0.0, 0).rx(0.5, 0)
+        opt = optimize(qc)
+        assert opt.count_ops() == {"rx": 1}
+
+    def test_fusion_to_zero_then_dropped(self):
+        qc = QuantumCircuit(1).rz(0.4, 0).rz(-0.4, 0)
+        assert len(optimize(qc)) == 0
+
+    def test_symbolic_zero_kept(self):
+        # a symbolic rotation can't be proven null at compile time.
+        qc = QuantumCircuit(1).rz(Parameter("t"), 0)
+        assert len(optimize(qc)) == 1
+
+
+class TestGatesSaved:
+    def test_counts_difference(self):
+        qc = QuantumCircuit(1).h(0).h(0).rz(0.1, 0)
+        opt = optimize(qc)
+        assert gates_saved(qc, opt) == 2
+
+
+_moves = st.lists(
+    st.tuples(
+        st.sampled_from(["h", "x", "z", "rzpos", "rzneg", "cz"]),
+        st.integers(0, 2),
+    ),
+    max_size=20,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(moves=_moves)
+def test_optimize_preserves_semantics(moves):
+    """Property: optimisation never changes the prepared state (up to
+    global phase) and never grows the circuit."""
+    qc = QuantumCircuit(3)
+    for gate, qubit in moves:
+        if gate == "cz":
+            qc.cz(qubit, (qubit + 1) % 3)
+        elif gate == "rzpos":
+            qc.rz(0.37, qubit)
+        elif gate == "rzneg":
+            qc.rz(-0.37, qubit)
+        else:
+            qc.append(gate, (qubit,))
+    opt = optimize(qc)
+    assert len(opt) <= len(qc)
+    backend = StatevectorBackend()
+    overlap = abs(backend.run(qc).inner(backend.run(opt)))
+    assert overlap == pytest.approx(1.0, abs=1e-9)

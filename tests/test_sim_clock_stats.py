@@ -1,0 +1,150 @@
+"""Tests for clock domains and statistics primitives."""
+
+import pytest
+
+from repro.sim import (
+    Accumulator,
+    BusyResource,
+    Clock,
+    Counter,
+    DAC_CLOCK,
+    HOST_CLOCK,
+    QCC_SRAM_CLOCK,
+    Simulator,
+    StatGroup,
+    TimeBucket,
+    ns,
+)
+
+
+class TestClock:
+    def test_host_clock_period(self):
+        assert HOST_CLOCK.period_ps == 1000  # 1 GHz -> 1 ns
+
+    def test_qcc_sram_clock_period(self):
+        assert QCC_SRAM_CLOCK.period_ps == 5000  # 200 MHz -> 5 ns
+
+    def test_dac_clock_period(self):
+        assert DAC_CLOCK.period_ps == 500  # 2 GHz -> 0.5 ns
+
+    def test_cycles_to_ps(self):
+        assert HOST_CLOCK.cycles_to_ps(1000) == ns(1000)
+
+    def test_ps_to_cycles_floors(self):
+        assert HOST_CLOCK.ps_to_cycles(ns(2.5)) == 2
+
+    def test_next_edge_alignment(self):
+        clock = Clock(200_000_000)
+        assert clock.next_edge(0) == 0
+        assert clock.next_edge(1) == 5000
+        assert clock.next_edge(5000) == 5000
+        assert clock.next_edge(5001) == 10000
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Clock(0)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            HOST_CLOCK.cycles_to_ps(-1)
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("hits")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("x", value=3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestAccumulator:
+    def test_mean_min_max(self):
+        acc = Accumulator("depth")
+        for value in (2.0, 4.0, 9.0):
+            acc.observe(value)
+        assert acc.mean == pytest.approx(5.0)
+        assert acc.minimum == 2.0
+        assert acc.maximum == 9.0
+        assert acc.count == 3
+
+    def test_empty_mean_is_zero(self):
+        assert Accumulator("x").mean == 0.0
+
+
+class TestTimeBucket:
+    def test_fractions(self):
+        bucket = TimeBucket("breakdown")
+        bucket.add("quantum", 90)
+        bucket.add("comm", 10)
+        assert bucket.total == 100
+        assert bucket.fraction("quantum") == pytest.approx(0.9)
+        assert bucket.fraction("missing") == 0.0
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            TimeBucket("x").add("quantum", -1)
+
+    def test_merge(self):
+        a = TimeBucket("a")
+        a.add("quantum", 5)
+        b = TimeBucket("b")
+        b.add("quantum", 7)
+        b.add("comm", 1)
+        merged = a.merged_with(b)
+        assert merged.get("quantum") == 12
+        assert merged.get("comm") == 1
+
+
+class TestStatGroup:
+    def test_get_or_create_identity(self):
+        group = StatGroup("cache")
+        assert group.counter("hits") is group.counter("hits")
+
+    def test_as_dict_namespacing(self):
+        group = StatGroup("l1")
+        group.counter("hits").increment(3)
+        group.accumulator("lat").observe(10.0)
+        group.time_bucket("busy").add("quantum", 7)
+        flat = group.as_dict()
+        assert flat["l1.hits"] == 3
+        assert flat["l1.lat.mean"] == 10.0
+        assert flat["l1.busy.quantum"] == 7
+
+
+class TestBusyResource:
+    def test_single_server_serialises(self):
+        sim = Simulator()
+        pool = BusyResource(sim, "pgu", servers=1)
+        begin1, end1 = pool.acquire(0, 100)
+        begin2, end2 = pool.acquire(10, 100)
+        assert (begin1, end1) == (0, 100)
+        assert (begin2, end2) == (100, 200)
+
+    def test_multiple_servers_overlap(self):
+        sim = Simulator()
+        pool = BusyResource(sim, "pgu", servers=2)
+        assert pool.acquire(0, 100) == (0, 100)
+        assert pool.acquire(0, 100) == (0, 100)
+        assert pool.acquire(0, 100) == (100, 200)
+
+    def test_earliest_free(self):
+        sim = Simulator()
+        pool = BusyResource(sim, "pgu", servers=2)
+        pool.acquire(0, 50)
+        assert pool.earliest_free() == 0
+        pool.acquire(0, 70)
+        assert pool.earliest_free() == 50
+        assert pool.all_idle_at() == 70
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            BusyResource(Simulator(), "x", servers=0)
