@@ -34,6 +34,7 @@ from repro.quantum import (
     QuantumDevice,
     Sampler,
 )
+from repro.runtime import EvalCache, EvaluationEngine
 from repro.vqa import (
     HybridResult,
     HybridRunner,
@@ -60,6 +61,8 @@ __all__ = [
     "PauliString",
     "QuantumDevice",
     "Sampler",
+    "EvalCache",
+    "EvaluationEngine",
     "qaoa_workload",
     "vqe_workload",
     "qnn_workload",

@@ -17,7 +17,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro import DecoupledSystem, HybridRunner, QtenonSystem, __version__
+from repro import (
+    DecoupledSystem,
+    EvalCache,
+    EvaluationEngine,
+    HybridRunner,
+    QtenonSystem,
+    __version__,
+)
 from repro.analysis import format_table, format_time_ps
 from repro.core import QtenonConfig
 from repro.host import core_by_name
@@ -56,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing-only", action="store_true",
         help="skip quantum-state simulation (large qubit counts)",
     )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the evaluation runtime (1 = serial)",
+    )
+    run.add_argument(
+        "--cache-size", type=int, default=0,
+        help="entries in the content-addressed result cache (0 = off)",
+    )
 
     sub.add_parser("info", help="print version and model constants")
     return parser
@@ -63,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _make_platform(name: str, args) -> object:
     if name == "qtenon":
-        return QtenonSystem(
+        platform = QtenonSystem(
             args.qubits,
             core=core_by_name(args.core),
             seed=args.seed,
@@ -73,7 +88,18 @@ def _make_platform(name: str, args) -> object:
                 regfile_entries=max(1024, 8 * args.qubits),
             ),
         )
-    return DecoupledSystem(args.qubits, seed=args.seed, timing_only=args.timing_only)
+    else:
+        platform = DecoupledSystem(
+            args.qubits, seed=args.seed, timing_only=args.timing_only
+        )
+    if args.workers > 1 or args.cache_size > 0:
+        platform = EvaluationEngine(
+            platform,
+            max_workers=max(1, args.workers),
+            cache=EvalCache(args.cache_size) if args.cache_size > 0 else None,
+            seed=args.seed,
+        )
+    return platform
 
 
 def _run_one(platform_name: str, args):
@@ -101,6 +127,13 @@ def cmd_run(args) -> int:
     result = _run_one(args.platform, args)
     print(result.report.summary())
     print(f"  best cost: {result.best_cost:+.4f}")
+    extra = result.report.extra
+    if "eval_cache.hit_rate" in extra:
+        print(
+            f"  eval cache: {extra['eval_cache.hits']:.0f} hits / "
+            f"{extra['eval_cache.misses']:.0f} misses "
+            f"({extra['eval_cache.hit_rate']:.1%} hit rate)"
+        )
     if not args.compare:
         return 0
 

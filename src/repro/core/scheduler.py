@@ -121,6 +121,8 @@ def compute_run_timeline(
     L2 latency.  Quantum execution is never stalled by transmissions —
     the .measure segment double-buffers.
     """
+    if not batches:
+        raise ValueError("no transmission batches")
     if shot_duration_ps <= 0:
         raise ValueError("shot duration must be positive")
     issue_times: List[int] = []
@@ -134,8 +136,6 @@ def compute_run_timeline(
         port_free = issue
         issue_times.append(issue)
         response_times.append(issue + put_response_latency_ps)
-    if not batches:
-        raise ValueError("no transmission batches")
     return RunTimeline(
         start_ps=start_ps,
         quantum_end_ps=quantum_end,

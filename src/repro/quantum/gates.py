@@ -76,6 +76,14 @@ class GateSpec:
     def is_parameterized(self) -> bool:
         return self.n_params > 0
 
+    def __reduce__(self):
+        # Fixed gates close over their matrix, so a GateSpec cannot be
+        # pickled field-by-field; reconstruct from the registry instead
+        # (specs are interned singletons keyed by name).  This is what
+        # lets circuits cross process boundaries for parallel
+        # evaluation (repro.runtime).
+        return (gate_spec, (self.name,))
+
 
 #: Durations per paper §7.1.
 ONE_QUBIT_NS = 20.0

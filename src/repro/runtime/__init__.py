@@ -1,0 +1,39 @@
+"""Evaluation runtime: parallel fan-out + content-addressed caching.
+
+The wall-clock hot path of the reproduction is the repeated functional
+circuit evaluation inside the hybrid loop.  This package speeds it up
+without touching the architectural model:
+
+* :class:`EvaluationEngine` — a platform wrapper that fans a batch of
+  independent evaluations across worker processes and replays the
+  platform's timing model serially;
+* :class:`EvalCache` — a bounded LRU keyed on the content address of
+  an evaluation (circuit structure, parameters, shots, seed, backend),
+  so repeated requests are served bit-identically without recompute.
+"""
+
+from repro.runtime.cache import (
+    DEFAULT_MAX_ENTRIES,
+    EvalCache,
+    EvalKey,
+    circuit_structure_hash,
+    evaluation_key,
+)
+from repro.runtime.engine import (
+    EvaluationEngine,
+    EvaluationSpec,
+    build_spec,
+    evaluate_spec,
+)
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "EvalCache",
+    "EvalKey",
+    "EvaluationEngine",
+    "EvaluationSpec",
+    "build_spec",
+    "circuit_structure_hash",
+    "evaluate_spec",
+    "evaluation_key",
+]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import numbers
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -163,11 +164,20 @@ class Simulator:
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the heap drains, ``until`` ps is reached, or
-        ``max_events`` have executed.  Returns the final time."""
+        ``max_events`` have executed.  Returns the final time.
+
+        With a bound, the clock always lands on ``until`` when every
+        event at or before it has executed — including when the heap
+        drains early or is empty at call time — so components polling
+        :attr:`now` after a bounded run observe the full interval.  A
+        ``max_events`` break leaves the clock at the last executed
+        event.
+        """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        exhausted = True
         try:
             while self._heap:
                 head = self._heap[0]
@@ -175,14 +185,16 @@ class Simulator:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and head.time > until:
-                    self._now = until
                     break
                 if max_events is not None and executed >= max_events:
+                    exhausted = False
                     break
                 self.step()
                 executed += 1
         finally:
             self._running = False
+        if until is not None and exhausted and until > self._now:
+            self._now = until
         return self._now
 
     def advance_to(self, time: int) -> None:
@@ -251,10 +263,14 @@ class Process:
             return
         if isinstance(yielded, Process):
             yielded.add_done_callback(self._resume)
-        elif isinstance(yielded, int):
-            self.sim.schedule_after(yielded, self._resume)
+        elif isinstance(yielded, numbers.Integral) and not isinstance(yielded, bool):
+            # Accept any integral delay (plain int, numpy integer from
+            # latency arithmetic, ...) but reject bool: ``yield True``
+            # is always a bug, not a 1 ps sleep.  Normalise to a Python
+            # int so the heap never holds numpy scalars.
+            self.sim.schedule_after(int(yielded), self._resume)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {type(yielded).__name__}; "
-                "expected int delay (ps) or Process"
+                "expected integer delay (ps) or Process"
             )

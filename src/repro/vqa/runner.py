@@ -22,7 +22,13 @@ from repro.vqa.optimizers import Optimizer
 
 
 class Platform(Protocol):
-    """What a hybrid execution platform must provide."""
+    """What a hybrid execution platform must provide.
+
+    Platforms *may* additionally expose
+    ``evaluate_many(values_list, shots) -> List[float]`` (see
+    :class:`repro.runtime.EvaluationEngine`); the runner feature-detects
+    it and routes the optimizers' independent probe batches through it.
+    """
 
     def prepare(self, ansatz: QuantumCircuit, observable: PauliSum) -> None: ...
 
@@ -86,14 +92,24 @@ class HybridRunner:
 
         self.platform.prepare(self.ansatz, self.observable)
 
+        def bind(vector: np.ndarray) -> Dict[Parameter, float]:
+            return {p: float(v) for p, v in zip(self.parameters, vector)}
+
         def evaluate(vector: np.ndarray) -> float:
-            values = {p: float(v) for p, v in zip(self.parameters, vector)}
-            return self.platform.evaluate(values, self.shots)
+            return self.platform.evaluate(bind(vector), self.shots)
+
+        evaluate_many = None
+        platform_many = getattr(self.platform, "evaluate_many", None)
+        if callable(platform_many):
+            def evaluate_many(vectors: Sequence[np.ndarray]) -> List[float]:
+                return platform_many([bind(v) for v in vectors], self.shots)
 
         history: List[float] = []
         cost = float("nan")
         for _ in range(self.iterations):
-            outcome = self.optimizer.run_iteration(params, evaluate)
+            outcome = self.optimizer.run_iteration(
+                params, evaluate, evaluate_many=evaluate_many
+            )
             params, cost = outcome.params, outcome.cost
             history.append(cost)
             self.platform.charge_optimizer_step(len(self.parameters), self.optimizer.method)

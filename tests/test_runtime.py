@@ -1,0 +1,314 @@
+"""Tests for the parallel evaluation runtime (repro.runtime).
+
+The load-bearing property is *determinism*: serial, parallel and
+cached schedules must return bit-identical values (the sampler seed is
+derived from each evaluation's content address, not from a shared RNG
+stream), so the parity tests compare histories with ``==``, not
+``approx``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro import EvalCache, EvaluationEngine, HybridRunner, QtenonSystem
+from repro.runtime import build_spec, circuit_structure_hash, evaluate_spec, evaluation_key
+from repro.quantum import Parameter, QuantumCircuit
+from repro.vqa import make_optimizer
+from repro.vqa.ansatz import hardware_efficient_ansatz
+from repro.vqa.hamiltonians import molecular_hamiltonian
+from repro.vqa.optimizers import GradientDescent, Spsa, _evaluate_batch
+
+QUBITS = 3
+SHOTS = 96
+SEED = 5
+
+
+@pytest.fixture
+def workload():
+    ansatz, parameters = hardware_efficient_ansatz(
+        QUBITS, n_layers=1, rotations=("ry",)
+    )
+    observable = molecular_hamiltonian(QUBITS, seed=3)
+    return ansatz, parameters, observable
+
+
+def _run(engine, workload, method="gd", iterations=2):
+    ansatz, parameters, observable = workload
+    runner = HybridRunner(
+        engine,
+        ansatz,
+        parameters,
+        observable,
+        make_optimizer(method, seed=SEED),
+        shots=SHOTS,
+        iterations=iterations,
+    )
+    return runner.run(seed=SEED)
+
+
+def _engine(workload=None, **kwargs):
+    engine = EvaluationEngine(QtenonSystem(QUBITS, seed=SEED), **kwargs)
+    if workload is not None:
+        engine.prepare(workload[0], workload[2])
+    return engine
+
+
+class TestStructureHash:
+    def _parametrised(self, theta_name="t"):
+        theta = Parameter(theta_name)
+        qc = QuantumCircuit(2).ry(theta, 0).cx(0, 1)
+        return qc, [theta]
+
+    def test_identical_structure_same_hash(self):
+        a, pa = self._parametrised("alpha")
+        b, pb = self._parametrised("beta")
+        # Distinct Parameter objects (and names), same structure.
+        assert circuit_structure_hash(a, pa) == circuit_structure_hash(b, pb)
+
+    def test_gate_change_changes_hash(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cz(0, 1)
+        assert circuit_structure_hash(a) != circuit_structure_hash(b)
+
+    def test_wiring_change_changes_hash(self):
+        a = QuantumCircuit(3).cx(0, 1)
+        b = QuantumCircuit(3).cx(0, 2)
+        assert circuit_structure_hash(a) != circuit_structure_hash(b)
+
+    def test_constant_angle_change_changes_hash(self):
+        a = QuantumCircuit(1).rx(0.25, 0)
+        b = QuantumCircuit(1).rx(0.50, 0)
+        assert circuit_structure_hash(a) != circuit_structure_hash(b)
+
+    def test_parameter_slot_matters(self):
+        x, y = Parameter("x"), Parameter("y")
+        qc = QuantumCircuit(2).ry(x, 0).ry(y, 1)
+        assert circuit_structure_hash(qc, [x, y]) != circuit_structure_hash(qc, [y, x])
+
+
+class TestEvalKey:
+    STRUCT = "ab" * 16
+
+    def _key(self, vector=(0.1, 0.2), shots=100, seed=0, backend="statevector"):
+        return evaluation_key(
+            self.STRUCT, np.array(vector, dtype=np.float64), shots, seed, backend
+        )
+
+    def test_deterministic(self):
+        assert self._key().digest == self._key().digest
+
+    def test_every_component_enters_the_digest(self):
+        base = self._key()
+        assert self._key(vector=(0.1, 0.3)).digest != base.digest
+        assert self._key(shots=101).digest != base.digest
+        assert self._key(seed=1).digest != base.digest
+        assert self._key(backend="product").digest != base.digest
+        assert evaluation_key(
+            "cd" * 16, np.array([0.1, 0.2]), 100, 0, "statevector"
+        ).digest != base.digest
+
+    def test_sampler_seed_from_digest(self):
+        key = self._key()
+        assert key.sampler_seed == int.from_bytes(key.digest[:8], "little")
+        assert 0 <= key.sampler_seed < 2 ** 64
+
+
+class TestEvalCache:
+    def _key(self, index):
+        return evaluation_key("00", np.array([float(index)]), 10, 0, "sv")
+
+    def test_roundtrip_and_counters(self):
+        cache = EvalCache(8)
+        key = self._key(0)
+        assert cache.get(key) is None
+        cache.put(key, -1.25)
+        assert cache.get(key) == -1.25
+        assert key in cache
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = EvalCache(2)
+        for i in range(3):
+            cache.put(self._key(i), float(i))
+        assert self._key(0) not in cache
+        assert self._key(1) in cache and self._key(2) in cache
+        assert cache.stats.counter("evictions").value == 1
+
+    def test_get_refreshes_recency(self):
+        cache = EvalCache(2)
+        cache.put(self._key(0), 0.0)
+        cache.put(self._key(1), 1.0)
+        cache.get(self._key(0))  # 1 becomes least-recently-used
+        cache.put(self._key(2), 2.0)
+        assert self._key(0) in cache
+        assert self._key(1) not in cache
+
+    def test_clear(self):
+        cache = EvalCache(4)
+        cache.put(self._key(0), 0.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EvalCache(0)
+
+
+class TestEvaluateSpec:
+    def test_same_request_bit_identical(self, workload):
+        ansatz, parameters, observable = workload
+        spec = build_spec(ansatz, observable, parameters=parameters)
+        vector = np.linspace(-0.4, 0.4, len(parameters))
+        first = evaluate_spec(spec, vector, SHOTS, seed=9)
+        second = evaluate_spec(spec, vector, SHOTS, seed=9)
+        assert first == second
+
+    def test_spec_survives_pickling(self, workload):
+        ansatz, parameters, observable = workload
+        spec = build_spec(ansatz, observable, parameters=parameters)
+        clone = pickle.loads(pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL))
+        vector = np.linspace(-0.3, 0.3, len(parameters))
+        assert evaluate_spec(clone, vector, SHOTS, seed=2) == evaluate_spec(
+            spec, vector, SHOTS, seed=2
+        )
+
+
+class TestEngineParity:
+    def test_gd_parallel_bit_identical_to_serial(self, workload):
+        serial = _run(_engine(max_workers=1), workload, "gd")
+        parallel = _run(_engine(max_workers=2), workload, "gd")
+        assert parallel.cost_history == serial.cost_history
+        assert parallel.final_cost == serial.final_cost
+        np.testing.assert_array_equal(parallel.final_params, serial.final_params)
+        # No cache: the modelled timeline is charged identically, too.
+        assert parallel.report.end_to_end_ps == serial.report.end_to_end_ps
+
+    def test_spsa_parallel_bit_identical_to_serial(self, workload):
+        serial = _run(_engine(max_workers=1), workload, "spsa")
+        parallel = _run(_engine(max_workers=2), workload, "spsa")
+        assert parallel.cost_history == serial.cost_history
+        assert parallel.report.end_to_end_ps == serial.report.end_to_end_ps
+
+    def test_cache_hits_are_bit_identical_and_skip_dispatch(self, workload):
+        cache = EvalCache(256)
+        cold = _run(_engine(max_workers=1, cache=cache), workload, "gd")
+        warm = _run(_engine(max_workers=1, cache=cache), workload, "gd")
+        assert warm.cost_history == cold.cost_history
+        assert cache.hits > 0
+        # A hit skips the platform replay, so the warm trajectory's
+        # modelled end-to-end time shrinks as well as its wall-clock.
+        assert warm.report.end_to_end_ps < cold.report.end_to_end_ps
+
+    def test_cache_stats_reported(self, workload):
+        cache = EvalCache(256)
+        engine = _engine(max_workers=1, cache=cache)
+        _run(engine, workload, "gd")
+        result = _run(_engine(max_workers=1, cache=cache), workload, "gd")
+        extra = result.report.extra
+        assert extra["eval_cache.hit_rate"] == cache.hit_rate
+        assert extra["eval_cache.hits"] == float(cache.hits)
+        assert extra["runtime.evaluations"] > 0
+
+
+class TestEngineFallbacks:
+    def _bindings(self, parameters, offsets):
+        return [
+            {p: float(v) for p, v in zip(parameters, np.full(len(parameters), off))}
+            for off in offsets
+        ]
+
+    def test_broken_pool_retries_then_degrades(self, workload, monkeypatch):
+        _, parameters, _ = workload
+        engine = _engine(workload, max_workers=2)
+
+        class ExplodingPool:
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(engine, "_ensure_pool", lambda: ExplodingPool())
+        batch = self._bindings(parameters, [0.1, 0.2])
+        values = engine.evaluate_many(batch, SHOTS)
+
+        reference = _engine(workload, max_workers=1)
+        assert values == reference.evaluate_many(batch, SHOTS)
+        assert engine.stats.counter("pool_restarts").value == 1
+        assert engine.stats.counter("pool_failures").value == 1
+        assert engine.stats.counter("serial_evaluations").value == 2
+        # Degradation is permanent: later batches go straight to serial.
+        engine.evaluate_many(self._bindings(parameters, [0.3]), SHOTS)
+        assert engine.stats.counter("pool_failures").value == 1
+        assert engine.stats.counter("serial_evaluations").value == 3
+        engine.close()
+        reference.close()
+
+    def test_single_worker_never_spawns_a_pool(self, workload):
+        _, parameters, _ = workload
+        engine = _engine(workload, max_workers=1)
+        engine.evaluate_many(self._bindings(parameters, [0.1, 0.2]), SHOTS)
+        assert engine._pool is None
+
+    def test_timing_only_platform_delegates(self, workload):
+        ansatz, parameters, observable = workload
+        platform = QtenonSystem(QUBITS, seed=SEED, timing_only=True)
+        engine = EvaluationEngine(platform, max_workers=4)
+        engine.prepare(ansatz, observable)
+        value = engine.evaluate(self._bindings(parameters, [0.1])[0], SHOTS)
+        assert isinstance(value, float)
+        assert engine.stats.counter("delegated_evaluations").value == 1
+        assert engine._pool is None
+
+    def test_missing_parameter_raises(self, workload):
+        _, parameters, _ = workload
+        engine = _engine(workload, max_workers=1)
+        with pytest.raises(KeyError, match="no value bound"):
+            engine.evaluate({parameters[0]: 0.1}, SHOTS)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationEngine(QtenonSystem(QUBITS), max_workers=0)
+
+
+class TestOptimizerBatchPath:
+    @staticmethod
+    def _cost(vector):
+        return float(np.sum(np.cos(vector)))
+
+    def _recording_many(self, batches):
+        def evaluate_many(vectors):
+            batches.append(len(vectors))
+            return [self._cost(v) for v in vectors]
+
+        return evaluate_many
+
+    def test_gd_batch_matches_serial(self):
+        params = np.linspace(-0.5, 0.5, 4)
+        serial = GradientDescent().run_iteration(params, self._cost)
+        batches = []
+        batched = GradientDescent().run_iteration(
+            params, self._cost, evaluate_many=self._recording_many(batches)
+        )
+        # 2P independent probes in one batch, then the post-step cost.
+        assert batches == [2 * params.size, 1]
+        np.testing.assert_array_equal(batched.params, serial.params)
+        assert batched.cost == serial.cost
+        assert batched.evaluations == 2 * params.size + 1
+
+    def test_spsa_batch_matches_serial(self):
+        params = np.linspace(-0.5, 0.5, 4)
+        serial = Spsa(seed=4).run_iteration(params, self._cost)
+        batches = []
+        batched = Spsa(seed=4).run_iteration(
+            params, self._cost, evaluate_many=self._recording_many(batches)
+        )
+        assert batches == [2, 1]
+        np.testing.assert_array_equal(batched.params, serial.params)
+        assert batched.cost == serial.cost
+
+    def test_wrong_batch_length_rejected(self):
+        with pytest.raises(ValueError, match="returned 0 results"):
+            _evaluate_batch(self._cost, lambda vectors: [], [np.zeros(2)])

@@ -127,6 +127,12 @@ class TestRunTimeline:
         with pytest.raises(ValueError):
             compute_run_timeline([], 0, ns(1), 0, 0)
 
+    def test_empty_plan_fast_fails_before_other_validation(self):
+        # The guard sits at the top: an empty plan reports "no
+        # transmission batches" even when later arguments are also bad.
+        with pytest.raises(ValueError, match="no transmission batches"):
+            compute_run_timeline([], 0, 0, 0, 0)
+
     def test_bad_shot_duration_rejected(self):
         plan = plan_transmissions(64, 4, 0, True)
         with pytest.raises(ValueError):

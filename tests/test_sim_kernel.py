@@ -128,6 +128,40 @@ class TestScheduling:
         assert sim.now == ns(123)
 
 
+class TestRunUntilClock:
+    """run(until=...) must land the clock on ``until`` exactly when the
+    heap is empty or drains early — the stale-``_now`` regression."""
+
+    def test_empty_heap_advances_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=ns(50)) == ns(50)
+        assert sim.now == ns(50)
+
+    def test_drained_heap_advances_to_until(self):
+        sim = Simulator()
+        sim.schedule_at(ns(10), lambda: None)
+        sim.run(until=ns(100))
+        assert sim.now == ns(100)
+
+    def test_until_in_the_past_leaves_clock_alone(self):
+        sim = Simulator()
+        sim.schedule_at(ns(50), lambda: None)
+        sim.run()
+        sim.run(until=ns(10))
+        assert sim.now == ns(50)
+
+    def test_max_events_break_does_not_jump_to_until(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(ns(i + 1), lambda: None)
+        sim.run(until=ns(100), max_events=2)
+        assert sim.now == ns(2)
+
+    def test_unbounded_run_on_empty_heap_stays_put(self):
+        sim = Simulator()
+        assert sim.run() == 0
+
+
 class TestProcess:
     def test_process_waits_between_yields(self):
         sim = Simulator()
@@ -184,4 +218,29 @@ class TestProcess:
 
         Process(sim, worker())
         with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_numpy_integer_delay_accepted(self):
+        import numpy as np
+
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            yield np.int64(ns(7))
+            seen.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert seen == [ns(7)]
+
+    def test_bool_yield_raises(self):
+        # ``yield True`` is a bug, not a 1 ps sleep.
+        sim = Simulator()
+
+        def worker():
+            yield True
+
+        Process(sim, worker())
+        with pytest.raises(SimulationError, match="bool"):
             sim.run()
