@@ -1,0 +1,328 @@
+"""Job-service benchmark: naive sequential dispatch vs the service.
+
+Measures the quantity ``repro.service`` exists to improve: end-to-end
+throughput and tail latency of a *multi-tenant, duplicate-heavy* job
+stream, where many tenants ask for the same evaluations (the parameter
+sweeps and restart studies of §7).  Two schedules run the same stream:
+
+* **naive** — one job at a time, straight through a fresh
+  ``HybridRunner`` per job (no coalescing, no cache, no overlap);
+* **service** — the full stack: admission, deficit-round-robin
+  dispatch onto worker slots, request coalescing and the shared
+  content-addressed ``EvalCache``.
+
+Both must produce bit-identical cost histories per job.  A second
+scenario submits an asymmetric (10x-skewed) all-unique stream and
+reports how fairly the scheduler served tenants while they were all
+backlogged (Jain index over served cost at the contended prefix).
+
+Results persist to ``BENCH_service.json`` at the repo root;
+``--smoke`` re-measures a reduced configuration and fails on a >20%
+regression of the recorded ratio metrics (capped, so a lucky recorded
+baseline cannot make the gate flaky).
+
+Usage::
+
+    python benchmarks/bench_service.py            # full run, update JSON
+    python benchmarks/bench_service.py --smoke    # quick regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import EvaluationEngine, HybridRunner, QtenonSystem  # noqa: E402
+from repro.service import JobService, JobSpec, ServiceConfig, jain_index  # noqa: E402
+from repro.service.service import WORKLOADS  # noqa: E402
+from repro.vqa import make_optimizer  # noqa: E402
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_service.json"
+)
+
+#: >20% regression against the recorded ratios fails the smoke gate.
+REGRESSION_TOLERANCE = 0.20
+
+#: Caps keep the gate portable: the duplicate-heavy speedup is gated at
+#: the acceptance-level 2x (coalescing alone guarantees it) rather than
+#: at whatever a fast machine once recorded; the contended-fairness
+#: floor only catches a scheduler that stops interleaving tenants.
+GATE_CAPS = {
+    "duplicate_heavy.speedup": 2.0,
+    "skewed.fairness_contended": 0.6,
+}
+
+FULL = dict(qubits=5, shots=2_000, distinct=4, tenants=6, workers=4,
+            hog_jobs=10, mouse_jobs=2)
+SMOKE = dict(qubits=4, shots=400, distinct=3, tenants=4, workers=2,
+             hog_jobs=6, mouse_jobs=2)
+
+SEED = 7
+CACHE_ENTRIES = 4096
+
+
+def _spec(config: Dict[str, int], seed: int) -> JobSpec:
+    return JobSpec(
+        workload="vqe", n_qubits=config["qubits"], optimizer="gd",
+        shots=config["shots"], iterations=1, seed=seed, platform="qtenon",
+    )
+
+
+def _direct_run(spec: JobSpec):
+    """The service-free reference: one engine, one runner, one job."""
+    workload = WORKLOADS[spec.workload](spec.n_qubits)
+    engine = EvaluationEngine(
+        QtenonSystem(spec.n_qubits, seed=spec.seed),
+        max_workers=1,
+        seed=spec.seed,
+    )
+    runner = HybridRunner(
+        engine,
+        workload.ansatz,
+        workload.parameters,
+        workload.observable,
+        make_optimizer(spec.optimizer, seed=spec.seed),
+        shots=spec.shots,
+        iterations=spec.iterations,
+    )
+    result = runner.run(seed=spec.seed)
+    engine.close()
+    return result
+
+
+def _run_service(
+    config: Dict[str, int],
+    submissions: List[Tuple[str, JobSpec]],
+    quantum: float,
+) -> Tuple[JobService, float]:
+    import asyncio
+
+    service = JobService(
+        ServiceConfig(
+            workers=config["workers"],
+            cache_entries=CACHE_ENTRIES,
+            quantum=quantum,
+            tenant_quota=max(64, len(submissions)),
+            max_open_jobs=max(256, len(submissions)),
+        )
+    )
+
+    async def drive():
+        for tenant, spec in submissions:
+            outcome = service.submit(spec, tenant)
+            assert outcome.accepted, outcome.rejection
+        await service.drain()
+
+    start = time.perf_counter()
+    asyncio.run(drive())
+    elapsed = time.perf_counter() - start
+    service.close()
+    return service, elapsed
+
+
+def _duplicate_heavy(config: Dict[str, int]) -> Dict[str, object]:
+    """T tenants each submit the same D distinct jobs (sweep re-runs)."""
+    specs = [_spec(config, seed=SEED + i) for i in range(config["distinct"])]
+    submissions = [
+        (f"tenant{t}", spec)
+        for t in range(config["tenants"])
+        for spec in specs
+    ]
+    n_jobs = len(submissions)
+
+    # Naive schedule: every job executed in full, one at a time.
+    start = time.perf_counter()
+    naive_results = {spec.digest: _direct_run(spec) for spec in specs}
+    naive_one = time.perf_counter() - start
+    naive_s = naive_one / config["distinct"] * n_jobs  # all jobs, no reuse
+
+    service, service_s = _run_service(config, submissions, quantum=16.0)
+    identical = True
+    for record in service.records.values():
+        reference = naive_results[record.spec.digest]
+        if record.result is None or (
+            record.result.cost_history != reference.cost_history
+        ):
+            identical = False
+    snapshot = service.metrics_snapshot()
+    latency = snapshot["latency_s"]
+    return {
+        "jobs": n_jobs,
+        "distinct": config["distinct"],
+        "naive_s": naive_s,
+        "service_s": service_s,
+        "throughput_naive_jps": n_jobs / naive_s,
+        "throughput_service_jps": n_jobs / service_s,
+        "speedup": naive_s / service_s,
+        "identical_results": identical,
+        "coalesced_jobs": snapshot["service"]["service.coalesced"],
+        "cache_hits": snapshot.get("eval_cache", {}).get("eval_cache.hits", 0.0),
+        "latency_p50_s": latency["p50"],
+        "latency_p95_s": latency["p95"],
+        "latency_p99_s": latency["p99"],
+        "fairness_jain": snapshot["scheduler"]["fairness_jain"],
+    }
+
+
+def _fairness_while_contended(service: JobService) -> float:
+    """Jain over served cost up to the first tenant's drain time.
+
+    While every tenant is still backlogged, DRR should serve them at
+    equal cost rates no matter how unequal their total demand is — so
+    served cost measured at the moment the *lightest* tenant finishes
+    its last job should be near-uniform across tenants.
+    """
+    drained_at: Dict[str, float] = {}
+    for record in service.records.values():
+        drained_at[record.tenant] = max(
+            drained_at.get(record.tenant, 0.0), record.finished_s
+        )
+    horizon = min(drained_at.values())
+    served: Dict[str, float] = {tenant: 0.0 for tenant in drained_at}
+    for record in service.records.values():
+        if record.finished_s <= horizon:
+            served[record.tenant] += record.spec.cost
+    return jain_index(list(served.values()))
+
+
+def _skewed(config: Dict[str, int]) -> Dict[str, object]:
+    """One hog vs three mice, all-unique jobs, 1 worker slot."""
+    submissions: List[Tuple[str, JobSpec]] = []
+    seed = 100
+    for _ in range(config["hog_jobs"]):
+        submissions.append(("hog", _spec(config, seed=seed)))
+        seed += 1
+    for mouse in ("mouse-a", "mouse-b", "mouse-c"):
+        for _ in range(config["mouse_jobs"]):
+            submissions.append((mouse, _spec(config, seed=seed)))
+            seed += 1
+
+    # quantum == one job's cost => round-robin at job granularity; one
+    # worker makes the dispatch order the completion order.
+    cost = submissions[0][1].cost
+    single = dict(config, workers=1)
+    service, elapsed = _run_service(single, submissions, quantum=cost)
+    completions = sorted(
+        service.records.values(), key=lambda record: record.finished_s
+    )
+    order = [record.tenant for record in completions]
+    last_mouse_done = 1 + max(
+        len(order) - 1 - order[::-1].index(tenant)
+        for tenant in ("mouse-a", "mouse-b", "mouse-c")
+    )
+    snapshot = service.metrics_snapshot()
+    return {
+        "jobs": len(submissions),
+        "skew": config["hog_jobs"] / config["mouse_jobs"],
+        "seconds": elapsed,
+        "fairness_contended": _fairness_while_contended(service),
+        "fairness_total_jain": snapshot["scheduler"]["fairness_jain"],
+        "all_mice_done_by_completion": last_mouse_done,
+        "latency_p95_s": snapshot["latency_s"]["p95"],
+    }
+
+
+def run_bench(config: Dict[str, int]) -> Dict[str, object]:
+    duplicate_heavy = _duplicate_heavy(config)
+    if not duplicate_heavy["identical_results"]:
+        raise AssertionError("service results diverge from direct HybridRunner runs")
+    skewed = _skewed(config)
+    return {
+        "config": {**config, "cache_entries": CACHE_ENTRIES,
+                   "cpu_count": os.cpu_count()},
+        "duplicate_heavy": duplicate_heavy,
+        "skewed": skewed,
+    }
+
+
+def _print_report(mode: str, result: Dict[str, object]) -> None:
+    dup = result["duplicate_heavy"]
+    skew = result["skewed"]
+    print(f"[bench_service/{mode}] multi-tenant job stream, vqe/gd workload")
+    print(
+        f"  duplicate-heavy ({dup['jobs']} jobs, {dup['distinct']} distinct): "
+        f"naive {dup['naive_s']:.2f}s vs service {dup['service_s']:.2f}s "
+        f"({dup['speedup']:.2f}x, {dup['coalesced_jobs']:.0f} coalesced, "
+        f"{dup['cache_hits']:.0f} cache hits)"
+    )
+    print(
+        f"  latency p50/p95/p99: {dup['latency_p50_s']:.3f}s / "
+        f"{dup['latency_p95_s']:.3f}s / {dup['latency_p99_s']:.3f}s"
+    )
+    print(
+        f"  skewed ({skew['skew']:.0f}x demand): contended fairness "
+        f"{skew['fairness_contended']:.3f} (Jain), all mice done by "
+        f"completion {skew['all_mice_done_by_completion']}/{skew['jobs']}"
+    )
+    print(f"  results bit-identical to direct runs: {dup['identical_results']}")
+
+
+def _load_recorded() -> Dict[str, object]:
+    if not os.path.exists(RESULT_PATH):
+        return {}
+    with open(RESULT_PATH) as handle:
+        return json.load(handle)
+
+
+def _check_regression(recorded: Dict[str, object], current: Dict[str, object]) -> int:
+    failures = []
+    checks = [
+        ("duplicate_heavy.speedup", recorded["duplicate_heavy"]["speedup"],
+         current["duplicate_heavy"]["speedup"]),
+        ("skewed.fairness_contended", recorded["skewed"]["fairness_contended"],
+         current["skewed"]["fairness_contended"]),
+    ]
+    for name, baseline, measured in checks:
+        floor = min(baseline, GATE_CAPS[name]) * (1.0 - REGRESSION_TOLERANCE)
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(f"  {name}: {measured:.3f} vs recorded {baseline:.3f} "
+              f"(floor {floor:.3f}) {status}")
+        if measured < floor:
+            failures.append(name)
+    if not current["duplicate_heavy"]["identical_results"]:
+        failures.append("duplicate_heavy.identical_results")
+    if failures:
+        print(f"regression gate FAILED: {', '.join(failures)}")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced configuration + regression gate against BENCH_service.json",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the measured results into BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    result = run_bench(SMOKE if args.smoke else FULL)
+    _print_report(mode, result)
+
+    recorded = _load_recorded()
+    if args.update or not args.smoke or mode not in recorded:
+        recorded[mode] = result
+        with open(RESULT_PATH, "w") as handle:
+            json.dump(recorded, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded -> {RESULT_PATH}")
+        return 0
+    return _check_regression(recorded[mode], result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from repro.quantum import (
     Sampler,
 )
 from repro.runtime import EvalCache, EvaluationEngine
+from repro.service import JobService, JobSpec, ServiceAPI, ServiceConfig
 from repro.vqa import (
     HybridResult,
     HybridRunner,
@@ -63,6 +64,10 @@ __all__ = [
     "Sampler",
     "EvalCache",
     "EvaluationEngine",
+    "JobService",
+    "JobSpec",
+    "ServiceAPI",
+    "ServiceConfig",
     "qaoa_workload",
     "vqe_workload",
     "qnn_workload",

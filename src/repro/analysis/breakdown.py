@@ -175,4 +175,11 @@ class ExecutionReport:
             f"  pulses: {self.pulses_generated}/{self.pulse_entries_processed} "
             f"generated (reduction {100 * self.compute_reduction:.1f}%)",
         ]
+        if "eval_cache.hits" in self.extra:
+            lines.append(
+                f"  eval cache: {self.extra['eval_cache.hits']:.0f} hits / "
+                f"{self.extra['eval_cache.misses']:.0f} misses / "
+                f"{self.extra.get('eval_cache.evictions', 0.0):.0f} evictions "
+                f"({self.extra.get('eval_cache.hit_rate', 0.0):.1%} hit rate)"
+            )
         return "\n".join(lines)

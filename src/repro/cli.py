@@ -6,16 +6,21 @@ without writing code::
 
     python -m repro run qaoa --qubits 16 --optimizer spsa --iterations 3
     python -m repro run vqe --qubits 64 --timing-only --compare
+    python -m repro submit qaoa --qubits 5 --tenant alice --jobs-file jobs.json
+    python -m repro serve --jobs jobs.json --workers 4 --cache-size 4096
     python -m repro info
+
+``submit`` composes (or immediately runs) service job requests;
+``serve`` drives the multi-tenant job service over a request file and
+prints per-job outcomes plus the JSON metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from repro import (
     DecoupledSystem,
@@ -28,9 +33,71 @@ from repro import (
 from repro.analysis import format_table, format_time_ps
 from repro.core import QtenonConfig
 from repro.host import core_by_name
+from repro.service import JobSpec, ServiceAPI, ServiceConfig
 from repro.vqa import make_optimizer, qaoa_workload, qnn_workload, vqe_workload
 
 WORKLOADS = {"qaoa": qaoa_workload, "vqe": vqe_workload, "qnn": qnn_workload}
+
+
+# ----------------------------------------------------------------------
+# argparse-level validation: bad values must die at the parser with a
+# clear message, not deep inside the engine.
+# ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value}"
+        )
+    return value
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Job-spec flags shared by ``submit`` (service-side defaults)."""
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("--qubits", type=_positive_int, default=5)
+    parser.add_argument("--optimizer", choices=("gd", "spsa"), default="spsa")
+    parser.add_argument("--shots", type=_positive_int, default=200)
+    parser.add_argument("--iterations", type=_positive_int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--platform", choices=("qtenon", "baseline"), default="qtenon"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,10 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a VQA workload on a platform")
     run.add_argument("workload", choices=sorted(WORKLOADS))
-    run.add_argument("--qubits", type=int, default=8)
+    run.add_argument("--qubits", type=_positive_int, default=8)
     run.add_argument("--optimizer", choices=("gd", "spsa"), default="spsa")
-    run.add_argument("--shots", type=int, default=500)
-    run.add_argument("--iterations", type=int, default=3)
+    run.add_argument("--shots", type=_positive_int, default=500)
+    run.add_argument("--iterations", type=_positive_int, default=3)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--core", default="boom-large",
@@ -64,12 +131,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip quantum-state simulation (large qubit counts)",
     )
     run.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int, default=1,
         help="worker processes for the evaluation runtime (1 = serial)",
     )
     run.add_argument(
-        "--cache-size", type=int, default=0,
+        "--cache-size", type=_nonnegative_int, default=0,
         help="entries in the content-addressed result cache (0 = off)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one service job (append to a job file, or run inline)",
+    )
+    _add_spec_arguments(submit)
+    submit.add_argument("--tenant", default="default", help="tenant identity")
+    submit.add_argument(
+        "--jobs-file", default=None,
+        help="append the request to this JSON job file instead of running it",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant job service over a job file"
+    )
+    serve.add_argument("--jobs", required=True, help="JSON job file (see submit)")
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="platform pool slots executing jobs concurrently",
+    )
+    serve.add_argument(
+        "--cache-size", type=_nonnegative_int, default=4096,
+        help="shared eval-cache entries across all tenants (0 = off)",
+    )
+    serve.add_argument(
+        "--quantum", type=_positive_float, default=16.0,
+        help="deficit-round-robin service quantum, in evaluation units",
+    )
+    serve.add_argument(
+        "--queue-depth", type=_positive_int, default=256,
+        help="global bound on open (queued+running) jobs",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=_positive_int, default=64,
+        help="per-tenant bound on open jobs",
+    )
+    serve.add_argument(
+        "--timeout", type=_positive_float, default=None,
+        help="per-job deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=_positive_int, default=2,
+        help="execution attempts per job before it fails",
+    )
+    serve.add_argument(
+        "--backoff", type=_nonnegative_float, default=0.05,
+        help="initial retry backoff in seconds (doubles per retry)",
+    )
+    serve.add_argument(
+        "--timing-only", action="store_true",
+        help="timing-only platforms (large qubit counts)",
+    )
+    serve.add_argument("--core", default="boom-large")
+    serve.add_argument(
+        "--metrics-out", default=None,
+        help="write the JSON metrics snapshot to this path",
+    )
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="write the per-tenant Chrome trace timeline to this path",
     )
 
     sub.add_parser("info", help="print version and model constants")
@@ -95,7 +223,7 @@ def _make_platform(name: str, args) -> object:
     if args.workers > 1 or args.cache_size > 0:
         platform = EvaluationEngine(
             platform,
-            max_workers=max(1, args.workers),
+            max_workers=args.workers,
             cache=EvalCache(args.cache_size) if args.cache_size > 0 else None,
             seed=args.seed,
         )
@@ -127,13 +255,6 @@ def cmd_run(args) -> int:
     result = _run_one(args.platform, args)
     print(result.report.summary())
     print(f"  best cost: {result.best_cost:+.4f}")
-    extra = result.report.extra
-    if "eval_cache.hit_rate" in extra:
-        print(
-            f"  eval cache: {extra['eval_cache.hits']:.0f} hits / "
-            f"{extra['eval_cache.misses']:.0f} misses "
-            f"({extra['eval_cache.hit_rate']:.1%} hit rate)"
-        )
     if not args.compare:
         return 0
 
@@ -150,6 +271,146 @@ def cmd_run(args) -> int:
         "classical speedup  : "
         f"{qtenon.report.classical_speedup_over(baseline.report):.1f}x"
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# service commands
+# ----------------------------------------------------------------------
+def _spec_from_args(args) -> JobSpec:
+    return JobSpec(
+        workload=args.workload,
+        n_qubits=args.qubits,
+        optimizer=args.optimizer,
+        shots=args.shots,
+        iterations=args.iterations,
+        seed=args.seed,
+        platform=args.platform,
+    )
+
+
+def _load_job_file(path: str) -> List[Tuple[str, JobSpec]]:
+    with open(path) as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list):
+        raise ValueError(f"job file {path!r} must hold a JSON array of requests")
+    submissions: List[Tuple[str, JobSpec]] = []
+    for index, entry in enumerate(entries):
+        try:
+            tenant = str(entry.get("tenant", "default"))
+            submissions.append((tenant, JobSpec.from_dict(entry)))
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ValueError(f"job file entry #{index} is invalid: {exc}") from exc
+    return submissions
+
+
+def cmd_submit(args) -> int:
+    spec = _spec_from_args(args)
+    if args.jobs_file is not None:
+        try:
+            entries = [
+                dict(entry.as_dict(), tenant=tenant)
+                for tenant, entry in _load_job_file(args.jobs_file)
+            ]
+        except FileNotFoundError:
+            entries = []
+        entries.append(dict(spec.as_dict(), tenant=args.tenant))
+        with open(args.jobs_file, "w") as handle:
+            json.dump(entries, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"queued request {len(entries)} in {args.jobs_file} "
+            f"(tenant {args.tenant}, digest {spec.digest[:8]})"
+        )
+        return 0
+
+    api = ServiceAPI(ServiceConfig(workers=1))
+    batch = api.run_batch([(args.tenant, spec)])
+    outcome = batch.outcomes[0]
+    if not outcome.accepted:
+        print(f"rejected: {outcome.rejection.message}", file=sys.stderr)
+        return 1
+    status = api.status(outcome.job_id)
+    print(f"{outcome.job_id} [{status['state']}] tenant={args.tenant}")
+    result = api.result(outcome.job_id)
+    if result is not None:
+        print(result.report.summary())
+        print(f"  best cost: {result.best_cost:+.4f}")
+        return 0
+    print(f"error: {status['error']}", file=sys.stderr)
+    return 1
+
+
+def cmd_serve(args) -> int:
+    try:
+        submissions = _load_job_file(args.jobs)
+    except FileNotFoundError:
+        print(f"error: job file {args.jobs!r} not found", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not submissions:
+        print(f"error: job file {args.jobs!r} holds no requests", file=sys.stderr)
+        return 1
+
+    config = ServiceConfig(
+        workers=args.workers,
+        cache_entries=args.cache_size,
+        quantum=args.quantum,
+        max_open_jobs=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        job_timeout_s=args.timeout,
+        max_attempts=args.max_attempts,
+        retry_backoff_s=args.backoff,
+        core=args.core,
+        timing_only=args.timing_only,
+    )
+    api = ServiceAPI(config)
+    batch = api.run_batch(submissions)
+
+    for (tenant, _spec), outcome in zip(submissions, batch.outcomes):
+        if not outcome.accepted:
+            rejection = outcome.rejection
+            print(f"rejected   tenant={tenant} [{rejection.code}] {rejection.message}")
+            continue
+        status = api.status(outcome.job_id)
+        latency = status["latency_s"]
+        cost = status["final_cost"]
+        print(
+            f"{outcome.job_id} [{status['state']}] tenant={tenant} "
+            f"latency={latency:.3f}s"
+            + (f" cost={cost:+.4f}" if cost is not None else "")
+            + (
+                f" (coalesced with {status['coalesced_with']})"
+                if status["coalesced_with"]
+                else ""
+            )
+        )
+
+    metrics = batch.metrics
+    latency = metrics["latency_s"]
+    print(
+        f"\n{batch.accepted} accepted / {batch.rejected} rejected; "
+        f"latency p50 {latency['p50']:.3f}s p95 {latency['p95']:.3f}s; "
+        f"fairness (Jain) {metrics['scheduler']['fairness_jain']:.3f}"
+    )
+    if "eval_cache" in metrics:
+        cache = metrics["eval_cache"]
+        print(
+            f"eval cache: {cache['eval_cache.hits']:.0f} hits / "
+            f"{cache['eval_cache.misses']:.0f} misses / "
+            f"{cache['eval_cache.evictions']:.0f} evictions "
+            f"({cache['eval_cache.hit_rate']:.1%} hit rate)"
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics_out}")
+    if args.trace_out:
+        api.export_trace(args.trace_out)
+        print(f"trace -> {args.trace_out}")
     return 0
 
 
@@ -179,6 +440,10 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     return cmd_info(args)
 
 

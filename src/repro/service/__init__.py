@@ -1,0 +1,39 @@
+"""repro.service — multi-tenant async job service for hybrid workloads.
+
+The production-facing front-end of the reproduction: many tenants
+submit hybrid-algorithm jobs; the service admits them under quotas,
+interleaves tenants fairly (deficit round robin), coalesces duplicate
+requests, and executes on a pool of platform instances that share one
+content-addressed evaluation cache.  See DESIGN.md § "Service layer".
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.api import BatchOutcome, ServiceAPI
+from repro.service.coalescer import RequestCoalescer
+from repro.service.drr import DeficitRoundRobin, jain_index
+from repro.service.jobs import (
+    JobCancelled,
+    JobRecord,
+    JobSpec,
+    JobState,
+    Rejection,
+    SubmitOutcome,
+)
+from repro.service.service import JobService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "BatchOutcome",
+    "DeficitRoundRobin",
+    "JobCancelled",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "Rejection",
+    "RequestCoalescer",
+    "ServiceAPI",
+    "ServiceConfig",
+    "SubmitOutcome",
+    "jain_index",
+]

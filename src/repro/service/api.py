@@ -1,0 +1,94 @@
+"""Public facade of the job service: submit / status / result / cancel.
+
+:class:`ServiceAPI` is the surface clients (CLI, benchmarks, tests)
+program against; it hides the :class:`~repro.service.service.JobService`
+internals behind plain JSON-able payloads and adds the batch driver
+(:meth:`run_batch`) that the ``repro serve`` command and the service
+benchmark share.
+
+Everything here is synchronous from the caller's point of view —
+:meth:`run_batch` owns the event loop for the duration of the batch.
+For finer control (submissions from concurrent coroutines, streaming
+status), use :class:`JobService` directly inside your own loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.jobs import JobSpec, SubmitOutcome
+from repro.service.service import JobService, ServiceConfig
+from repro.vqa.runner import HybridResult
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one closed batch produced, submission-ordered."""
+
+    outcomes: List[SubmitOutcome]
+    metrics: Dict[str, object]
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.accepted)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.outcomes) - self.accepted
+
+
+class ServiceAPI:
+    """Thin, stable wrapper around one :class:`JobService` instance."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        service: Optional[JobService] = None,
+    ) -> None:
+        self.service = service or JobService(config)
+
+    # -- lifecycle -----------------------------------------------------
+    def submit(self, spec: JobSpec, tenant: str = "default") -> SubmitOutcome:
+        return self.service.submit(spec, tenant)
+
+    def status(self, job_id: str) -> Optional[Dict[str, object]]:
+        record = self.service.status(job_id)
+        return None if record is None else record.status_dict()
+
+    def result(self, job_id: str) -> Optional[HybridResult]:
+        return self.service.result(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    def metrics(self) -> Dict[str, object]:
+        return self.service.metrics_snapshot()
+
+    def export_trace(self, path: str) -> None:
+        """Write the per-tenant job timeline as Chrome trace JSON."""
+        self.service.trace.save(path)
+
+    # -- batch driver --------------------------------------------------
+    def run_batch(
+        self, submissions: Sequence[Tuple[str, JobSpec]]
+    ) -> BatchOutcome:
+        """Submit ``(tenant, spec)`` pairs, drain the service, report.
+
+        Rejections surface in the returned outcomes (in submission
+        order) — they are part of the workload's result, not errors.
+        """
+
+        async def _run() -> List[SubmitOutcome]:
+            outcomes = [
+                self.service.submit(spec, tenant) for tenant, spec in submissions
+            ]
+            await self.service.drain()
+            return outcomes
+
+        try:
+            outcomes = asyncio.run(_run())
+        finally:
+            self.service.close()
+        return BatchOutcome(outcomes=outcomes, metrics=self.metrics())

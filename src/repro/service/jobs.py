@@ -1,0 +1,243 @@
+"""Job model for the multi-tenant evaluation service.
+
+A *job* is one hybrid-algorithm run request — the unit a tenant
+submits, the scheduler interleaves, and the platform pool executes.
+The lifecycle is linear with four terminal states::
+
+    queued -> scheduled -> running -> done
+                                   -> failed      (retries exhausted)
+                                   -> cancelled   (client request)
+                                   -> timed_out   (deadline exceeded)
+
+Submissions that the admission controller refuses never become jobs at
+all: :meth:`repro.service.api.ServiceAPI.submit` returns a
+:class:`SubmitOutcome` carrying a structured :class:`Rejection`
+instead of raising, so over-quota traffic is an expected signal, not
+an exception escape.
+
+Job IDs are *durable*: ``job-<seq>-<digest8>`` where ``digest8`` is
+the first 8 hex characters of the spec's content address.  The digest
+part identifies *what* runs (two identical submissions share it — the
+coalescer keys on the full digest); the sequence part identifies *this
+submission* and never repeats within a service lifetime.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.vqa.runner import HybridResult
+
+#: Workload families the service accepts (mirrors the CLI).
+WORKLOAD_NAMES = ("qaoa", "vqe", "qnn")
+OPTIMIZER_NAMES = ("gd", "spsa")
+PLATFORM_NAMES = ("qtenon", "baseline")
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a job (see module docstring)."""
+
+    QUEUED = "queued"
+    SCHEDULED = "scheduled"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMED_OUT,
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run — everything that determines a job's result.
+
+    Two specs with equal fields are the *same computation* (results
+    are bit-identical thanks to the content-derived sampler seeds of
+    :mod:`repro.runtime`), which is what makes request coalescing and
+    cross-tenant cache sharing exact rather than approximate.
+    """
+
+    workload: str = "qaoa"
+    n_qubits: int = 5
+    optimizer: str = "spsa"
+    shots: int = 200
+    iterations: int = 1
+    seed: int = 0
+    platform: str = "qtenon"
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_NAMES:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; expected one of {WORKLOAD_NAMES}"
+            )
+        if self.optimizer not in OPTIMIZER_NAMES:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; expected one of {OPTIMIZER_NAMES}"
+            )
+        if self.platform not in PLATFORM_NAMES:
+            raise ValueError(
+                f"unknown platform {self.platform!r}; expected one of {PLATFORM_NAMES}"
+            )
+        if self.n_qubits <= 0:
+            raise ValueError(f"n_qubits must be positive, got {self.n_qubits}")
+        if self.shots <= 0:
+            raise ValueError(f"shots must be positive, got {self.shots}")
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+
+    @property
+    def digest(self) -> str:
+        """Content address of the computation this spec describes."""
+        payload = "|".join(
+            str(part)
+            for part in (
+                self.workload,
+                self.n_qubits,
+                self.optimizer,
+                self.shots,
+                self.iterations,
+                self.seed,
+                self.platform,
+            )
+        )
+        return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+    @property
+    def cost(self) -> float:
+        """Scheduling cost — predicted circuit evaluations of the job.
+
+        The deficit-round-robin scheduler charges tenants in this
+        unit, so a tenant submitting heavy jobs is interleaved against
+        one submitting light jobs by *work*, not by job count.
+        """
+        per_iteration = 3 if self.optimizer == "spsa" else None
+        if per_iteration is None:
+            # gd: 2 probes per parameter + the post-step cost.  The
+            # parameter count scales with qubits; a linear proxy is
+            # enough for fair-share accounting.
+            per_iteration = 2 * self.n_qubits + 1
+        return float(self.iterations * per_iteration)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "qubits": self.n_qubits,
+            "optimizer": self.optimizer,
+            "shots": self.shots,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "platform": self.platform,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        return cls(
+            workload=str(data.get("workload", "qaoa")),
+            n_qubits=int(data.get("qubits", 5)),
+            optimizer=str(data.get("optimizer", "spsa")),
+            shots=int(data.get("shots", 200)),
+            iterations=int(data.get("iterations", 1)),
+            seed=int(data.get("seed", 0)),
+            platform=str(data.get("platform", "qtenon")),
+        )
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Structured admission refusal (never an exception)."""
+
+    code: str  #: ``queue_full`` | ``tenant_quota``
+    message: str
+    tenant: str
+    limit: int
+    current: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "tenant": self.tenant,
+            "limit": self.limit,
+            "current": self.current,
+        }
+
+
+@dataclass
+class JobRecord:
+    """One admitted submission, tracked through its lifecycle."""
+
+    job_id: str
+    tenant: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submitted_s: float = 0.0
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    result: Optional[HybridResult] = None
+    #: job id of the in-flight primary this job coalesced onto.
+    coalesced_with: Optional[str] = None
+    #: cooperative-cancellation token checked between evaluations.
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.submitted_s
+
+    def status_dict(self) -> Dict[str, object]:
+        """JSON-able status snapshot (the ``status`` API payload)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state.value,
+            "spec": self.spec.as_dict(),
+            "digest": self.spec.digest,
+            "attempts": self.attempts,
+            "error": self.error,
+            "coalesced_with": self.coalesced_with,
+            "latency_s": self.latency_s,
+            "final_cost": None if self.result is None else self.result.final_cost,
+        }
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What ``submit`` returns: an admitted job id *or* a rejection."""
+
+    job_id: Optional[str] = None
+    rejection: Optional[Rejection] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.job_id is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "accepted": self.accepted,
+            "job_id": self.job_id,
+            "rejection": None if self.rejection is None else self.rejection.as_dict(),
+        }
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker when its job's cancel token is set."""
+
+
+def make_job_id(sequence: int, spec: JobSpec) -> str:
+    """Durable job id: unique sequence + content-address prefix."""
+    return f"job-{sequence:06d}-{spec.digest[:8]}"

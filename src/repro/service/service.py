@@ -1,0 +1,512 @@
+"""The asyncio job service: admission → fair-share dispatch → workers.
+
+:class:`JobService` is the engine room behind
+:class:`repro.service.api.ServiceAPI`.  One event loop owns all
+scheduling state (queues, records, counters — no locks needed there);
+job execution happens on a bounded ``ThreadPoolExecutor`` whose slots
+model the platform pool.  Each slot builds its job's platform
+(:class:`~repro.core.system.QtenonSystem` or
+:class:`~repro.baseline.system.DecoupledSystem`) wrapped in a
+:class:`~repro.runtime.engine.EvaluationEngine` that shares one
+service-wide content-addressed
+:class:`~repro.runtime.cache.EvalCache`, so identical circuit
+evaluations are computed once across tenants.
+
+Flow of one submission::
+
+    submit ──► AdmissionController ──► Rejection (structured, no job)
+                    │ admitted
+                    ▼
+              RequestCoalescer ──► follower (waits on the primary)
+                    │ primary
+                    ▼
+              DeficitRoundRobin queue ──► worker slot ──► terminal state
+                                               │ transient failure
+                                               ▼
+                                    bounded retries with backoff
+
+Failure semantics:
+
+* **timeout** — the job's cooperative cancel token is set, the worker
+  unwinds at its next evaluation, and the job (plus any coalesced
+  followers — the computation itself proved too slow) turns
+  ``timed_out``;
+* **worker failure** — up to ``max_attempts`` tries with exponential
+  backoff, then ``failed`` (followers inherit the failure);
+* **cancellation** — a queued or running job turns ``cancelled``
+  cooperatively; followers of a cancelled *primary* are requeued as a
+  fresh flight so one tenant's cancellation never silently kills
+  another tenant's work, while a cancelled *follower* just detaches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.trace import TraceRecorder
+from repro.baseline.system import DecoupledSystem
+from repro.core.config import QtenonConfig
+from repro.core.system import QtenonSystem
+from repro.host import core_by_name
+from repro.runtime.cache import EvalCache
+from repro.runtime.engine import EvaluationEngine
+from repro.service.admission import (
+    DEFAULT_MAX_OPEN_JOBS,
+    DEFAULT_TENANT_QUOTA,
+    AdmissionController,
+)
+from repro.service.coalescer import RequestCoalescer
+from repro.service.drr import DEFAULT_QUANTUM, DeficitRoundRobin, jain_index
+from repro.service.jobs import (
+    JobCancelled,
+    JobRecord,
+    JobSpec,
+    JobState,
+    SubmitOutcome,
+    make_job_id,
+)
+from repro.sim.stats import StatGroup
+from repro.vqa import make_optimizer, qaoa_workload, qnn_workload, vqe_workload
+from repro.vqa.runner import HybridResult, HybridRunner
+
+WORKLOADS = {"qaoa": qaoa_workload, "vqe": vqe_workload, "qnn": qnn_workload}
+
+#: Terminal states a primary propagates to its coalesced followers.
+_PROPAGATED = (JobState.DONE, JobState.FAILED, JobState.TIMED_OUT)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance (all CLI-exposed)."""
+
+    workers: int = 2
+    cache_entries: int = 4096  #: 0 disables cross-tenant result reuse
+    quantum: float = DEFAULT_QUANTUM
+    max_open_jobs: int = DEFAULT_MAX_OPEN_JOBS
+    tenant_quota: int = DEFAULT_TENANT_QUOTA
+    per_tenant_quotas: Dict[str, int] = field(default_factory=dict)
+    job_timeout_s: Optional[float] = None
+    max_attempts: int = 2
+    retry_backoff_s: float = 0.05
+    core: str = "boom-large"
+    timing_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.cache_entries < 0:
+            raise ValueError(
+                f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ValueError(
+                f"job_timeout_s must be positive, got {self.job_timeout_s}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+
+
+class _LockedEvalCache(EvalCache):
+    """EvalCache safe to share across the worker threads."""
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__(max_entries)
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            return super().get(key)
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            super().put(key, value)
+
+
+class _CancellablePlatform:
+    """Platform wrapper that honours a job's cancel token.
+
+    The check runs before every evaluation (single or batched), which
+    makes cancellation *cooperative* at evaluation granularity — a
+    worker never dies mid-evaluation, it unwinds at the next safe
+    point and the platform state is simply discarded with the job.
+    """
+
+    def __init__(self, platform, cancel_event: threading.Event) -> None:
+        self._platform = platform
+        self._cancel = cancel_event
+
+    def _check(self) -> None:
+        if self._cancel.is_set():
+            raise JobCancelled()
+
+    def prepare(self, ansatz, observable) -> None:
+        self._check()
+        self._platform.prepare(ansatz, observable)
+
+    def evaluate(self, values, shots):
+        self._check()
+        return self._platform.evaluate(values, shots)
+
+    def evaluate_many(self, values_list, shots):
+        self._check()
+        inner = getattr(self._platform, "evaluate_many", None)
+        if callable(inner):
+            return inner(values_list, shots)
+        # Plain platforms get the serial path, one cancel check each.
+        return [self.evaluate(values, shots) for values in values_list]
+
+    def charge_optimizer_step(self, n_params, method) -> None:
+        self._platform.charge_optimizer_step(n_params, method)
+
+    def finish(self):
+        self._check()
+        return self._platform.finish()
+
+
+class JobService:
+    """Multi-tenant async job service over the platform pool."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        platform_factory: Optional[Callable[[JobSpec], object]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = StatGroup("service")
+        self.admission = AdmissionController(
+            max_open_jobs=self.config.max_open_jobs,
+            tenant_quota=self.config.tenant_quota,
+            per_tenant_quotas=self.config.per_tenant_quotas,
+        )
+        self.coalescer = RequestCoalescer()
+        self.scheduler: DeficitRoundRobin[JobRecord] = DeficitRoundRobin(
+            quantum=self.config.quantum
+        )
+        self.cache: Optional[EvalCache] = (
+            _LockedEvalCache(self.config.cache_entries)
+            if self.config.cache_entries > 0
+            else None
+        )
+        self.trace = TraceRecorder(process_name="repro.service")
+        self.records: Dict[str, JobRecord] = {}
+        self._platform_factory = platform_factory or self._default_platform
+        self._clock = clock
+        self._epoch = clock()
+        self._sequence = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._active: "set[asyncio.Task]" = set()
+        self._wake: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # client surface (event-loop thread only)
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, tenant: str = "default") -> SubmitOutcome:
+        """Admit a job (or return a structured rejection) and queue it."""
+        self.stats.counter("submitted").increment()
+        rejection = self.admission.try_admit(tenant)
+        if rejection is not None:
+            self.stats.counter("rejected").increment()
+            return SubmitOutcome(rejection=rejection)
+
+        self._sequence += 1
+        record = JobRecord(
+            job_id=make_job_id(self._sequence, spec),
+            tenant=tenant,
+            spec=spec,
+            submitted_s=self._clock(),
+        )
+        self.records[record.job_id] = record
+        primary = self.coalescer.attach(record)
+        if primary is None:
+            self.scheduler.enqueue(tenant, record, spec.cost)
+        else:
+            self.stats.counter("coalesced").increment()
+        self.stats.accumulator("queue_depth").observe(len(self.scheduler))
+        self._notify()
+        return SubmitOutcome(job_id=record.job_id)
+
+    def status(self, job_id: str) -> Optional[JobRecord]:
+        return self.records.get(job_id)
+
+    def result(self, job_id: str) -> Optional[HybridResult]:
+        record = self.records.get(job_id)
+        return None if record is None else record.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cooperatively cancel a queued or running job."""
+        record = self.records.get(job_id)
+        if record is None or record.state.terminal:
+            return False
+        if record.coalesced_with is not None:
+            # Follower: detach quietly, the primary keeps running.
+            self.coalescer.detach_follower(record)
+            self._settle_one(record, JobState.CANCELLED, error="cancelled by client")
+            return True
+        if record.state is JobState.QUEUED:
+            self.scheduler.remove(record.tenant, lambda item: item is record)
+            followers = self.coalescer.settle(record)
+            self._settle_one(record, JobState.CANCELLED, error="cancelled by client")
+            self._requeue(followers)
+            return True
+        # Running (or scheduled): flip the token; the worker unwinds at
+        # its next evaluation and the run task settles the record.
+        record.cancel_event.set()
+        return True
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Run until every open job reaches a terminal state."""
+        self._wake = asyncio.Event()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-service",
+            )
+        try:
+            while True:
+                self._dispatch()
+                if not self._active and len(self.scheduler) == 0:
+                    break
+                await self._wake.wait()
+                self._wake.clear()
+        finally:
+            self._wake = None
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _notify(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    def _dispatch(self) -> None:
+        """Fill free worker slots in deficit-round-robin order."""
+        while len(self._active) < self.config.workers:
+            popped = self.scheduler.pop()
+            if popped is None:
+                return
+            _tenant, record, _cost = popped
+            if record.state is not JobState.QUEUED:
+                continue  # cancelled while queued; slot not consumed
+            record.state = JobState.SCHEDULED
+            self.stats.counter("dispatched").increment()
+            task = asyncio.create_task(self._run_job(record))
+            self._active.add(task)
+            task.add_done_callback(self._task_done)
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._active.discard(task)
+        if not task.cancelled():
+            task.exception()  # surface tracebacks instead of warnings
+        self._notify()
+
+    # ------------------------------------------------------------------
+    # one job
+    # ------------------------------------------------------------------
+    async def _run_job(self, record: JobRecord) -> None:
+        loop = asyncio.get_running_loop()
+        record.started_s = self._clock()
+        record.state = JobState.RUNNING
+        backoff = self.config.retry_backoff_s
+        error = "unknown failure"
+        for attempt in range(self.config.max_attempts):
+            record.attempts = attempt + 1
+            future = loop.run_in_executor(self._executor, self._execute, record)
+            try:
+                if self.config.job_timeout_s is not None:
+                    elapsed = self._clock() - record.started_s
+                    remaining = self.config.job_timeout_s - elapsed
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError
+                    result = await asyncio.wait_for(
+                        asyncio.shield(future), timeout=remaining
+                    )
+                else:
+                    result = await future
+                self._finish(record, JobState.DONE, result=result)
+                return
+            except asyncio.TimeoutError:
+                # The deadline covers all attempts of the job.  Ask the
+                # worker to unwind, wait for the slot to come back, and
+                # time the job out.
+                record.cancel_event.set()
+                try:
+                    await future
+                except Exception:
+                    pass
+                self.stats.counter("timeouts").increment()
+                self._finish(
+                    record,
+                    JobState.TIMED_OUT,
+                    error=f"deadline of {self.config.job_timeout_s}s exceeded",
+                )
+                return
+            except JobCancelled:
+                self._finish(record, JobState.CANCELLED, error="cancelled by client")
+                return
+            except Exception as exc:  # worker failure: retry with backoff
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt + 1 < self.config.max_attempts:
+                    self.stats.counter("retries").increment()
+                    if backoff > 0:
+                        await asyncio.sleep(backoff)
+                    backoff *= 2
+        self._finish(record, JobState.FAILED, error=error)
+
+    def _execute(self, record: JobRecord) -> HybridResult:
+        """Worker-thread body: build the platform, run the hybrid loop."""
+        if record.cancel_event.is_set():
+            raise JobCancelled()
+        spec = record.spec
+        workload = WORKLOADS[spec.workload](spec.n_qubits)
+        platform = _CancellablePlatform(
+            self._platform_factory(spec), record.cancel_event
+        )
+        runner = HybridRunner(
+            platform,
+            workload.ansatz,
+            workload.parameters,
+            workload.observable,
+            make_optimizer(spec.optimizer, seed=spec.seed),
+            shots=spec.shots,
+            iterations=spec.iterations,
+        )
+        return runner.run(seed=spec.seed)
+
+    def _default_platform(self, spec: JobSpec) -> EvaluationEngine:
+        if spec.platform == "qtenon":
+            platform = QtenonSystem(
+                spec.n_qubits,
+                core=core_by_name(self.config.core),
+                seed=spec.seed,
+                timing_only=self.config.timing_only,
+                config=QtenonConfig(
+                    n_qubits=spec.n_qubits,
+                    regfile_entries=max(1024, 8 * spec.n_qubits),
+                ),
+            )
+        else:
+            platform = DecoupledSystem(
+                spec.n_qubits, seed=spec.seed, timing_only=self.config.timing_only
+            )
+        # One in-process engine per job; parallelism lives in the
+        # service's worker slots, reuse in the shared cache.
+        return EvaluationEngine(platform, max_workers=1, cache=self.cache, seed=spec.seed)
+
+    # ------------------------------------------------------------------
+    # settlement
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        record: JobRecord,
+        state: JobState,
+        result: Optional[HybridResult] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        followers = self.coalescer.settle(record)
+        self._settle_one(record, state, result=result, error=error)
+        if state in _PROPAGATED:
+            for follower in followers:
+                self._settle_one(follower, state, result=result, error=error)
+        else:  # cancelled primary: surviving followers get a fresh flight
+            self._requeue(followers)
+
+    def _settle_one(
+        self,
+        record: JobRecord,
+        state: JobState,
+        result: Optional[HybridResult] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        record.state = state
+        record.result = result
+        record.error = error
+        record.finished_s = self._clock()
+        self.stats.counter(f"jobs_{state.value}").increment()
+        if record.latency_s is not None:
+            self.stats.accumulator("latency_s").observe(record.latency_s)
+        start = record.started_s if record.started_s is not None else record.submitted_s
+        self.trace.record(
+            track=record.tenant,
+            name=record.job_id,
+            start_ps=int((start - self._epoch) * 1e12),
+            end_ps=int((record.finished_s - self._epoch) * 1e12),
+        )
+        self.admission.release(record.tenant)
+
+    def _requeue(self, followers: List[JobRecord]) -> None:
+        """Re-flight followers orphaned by a cancelled primary."""
+        alive = [f for f in followers if not f.state.terminal]
+        if not alive:
+            return
+        primary, rest = alive[0], alive[1:]
+        primary.coalesced_with = None
+        readopted = self.coalescer.attach(primary)
+        assert readopted is None, "settled digest should start a fresh flight"
+        self.scheduler.enqueue(primary.tenant, primary, primary.spec.cost)
+        self.stats.counter("requeued").increment()
+        for follower in rest:
+            self.coalescer.attach(follower)
+        self._notify()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """JSON-able service metrics (the ``metrics`` API payload)."""
+        latencies = sorted(
+            record.latency_s
+            for record in self.records.values()
+            if record.latency_s is not None
+        )
+        jobs_by_state: Dict[str, int] = {}
+        for record in self.records.values():
+            jobs_by_state[record.state.value] = (
+                jobs_by_state.get(record.state.value, 0) + 1
+            )
+        served = self.scheduler.fairness_snapshot()
+        snapshot: Dict[str, object] = {
+            "service": self.stats.as_dict(),
+            "admission": self.admission.stats.as_dict(),
+            "coalescer": self.coalescer.stats.as_dict(),
+            "scheduler": {
+                "backlog": len(self.scheduler),
+                "served_cost_by_tenant": served,
+                "fairness_jain": jain_index(list(served.values())),
+            },
+            "jobs_by_state": jobs_by_state,
+            "latency_s": {
+                "count": len(latencies),
+                "p50": _quantile(latencies, 0.50),
+                "p95": _quantile(latencies, 0.95),
+                "p99": _quantile(latencies, 0.99),
+                "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            },
+        }
+        if self.cache is not None:
+            cache_stats = dict(self.cache.stats.as_dict())
+            cache_stats["eval_cache.hit_rate"] = self.cache.hit_rate
+            snapshot["eval_cache"] = cache_stats
+        return snapshot
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * len(sorted_values)) - 1))
+    return sorted_values[index]

@@ -79,7 +79,17 @@ class HybridRunner:
         self.iterations = iterations
 
     def run(self, initial_params: Optional[np.ndarray] = None, seed: int = 0) -> HybridResult:
-        """Execute the full hybrid loop."""
+        """Execute the full hybrid loop.
+
+        Every run is self-contained: the optimizer is ``reset()`` to
+        its own seed before the first iteration, so a reused optimizer
+        (restarts, sweeps, the job service's retries) cannot leak RNG
+        state from one run into the next — two runs with the same
+        ``seed=`` are bit-identical.  All randomness flows through
+        per-object ``np.random.default_rng`` generators (the ``vqa``
+        package never touches the global numpy RNG), which the test
+        suite audits.
+        """
         if initial_params is None:
             rng = np.random.default_rng(seed)
             params = rng.uniform(-0.5, 0.5, size=len(self.parameters))
@@ -90,6 +100,8 @@ class HybridRunner:
                     f"got {params.size} initial values for {len(self.parameters)} parameters"
                 )
 
+        # A fresh run must not continue a previous run's random stream.
+        self.optimizer.reset()
         self.platform.prepare(self.ansatz, self.observable)
 
         def bind(vector: np.ndarray) -> Dict[Parameter, float]:

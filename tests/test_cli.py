@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,46 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestParserValidation:
+    """Bad values die at argparse with a message, not deep in the engine."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "qaoa", "--workers", "0"],
+            ["run", "qaoa", "--workers", "-2"],
+            ["run", "qaoa", "--workers", "two"],
+            ["run", "qaoa", "--cache-size", "-1"],
+            ["run", "qaoa", "--qubits", "0"],
+            ["run", "qaoa", "--shots", "0"],
+            ["run", "qaoa", "--iterations", "-1"],
+            ["submit", "qaoa", "--shots", "0"],
+            ["submit", "qaoa", "--qubits", "-4"],
+            ["serve", "--jobs", "x.json", "--workers", "0"],
+            ["serve", "--jobs", "x.json", "--cache-size", "-1"],
+            ["serve", "--jobs", "x.json", "--quantum", "0"],
+            ["serve", "--jobs", "x.json", "--queue-depth", "0"],
+            ["serve", "--jobs", "x.json", "--tenant-quota", "0"],
+            ["serve", "--jobs", "x.json", "--timeout", "-1"],
+            ["serve", "--jobs", "x.json", "--max-attempts", "0"],
+            ["serve", "--jobs", "x.json", "--backoff", "-0.1"],
+        ],
+    )
+    def test_invalid_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert "expected a" in capsys.readouterr().err
+
+    def test_valid_boundaries_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "qaoa", "--workers", "1", "--cache-size", "0"]
+        )
+        assert args.workers == 1 and args.cache_size == 0
+        args = build_parser().parse_args(["serve", "--jobs", "x.json"])
+        assert args.workers == 2 and args.cache_size == 4096
 
 
 class TestCommands:
@@ -71,3 +113,76 @@ class TestCommands:
         ])
         assert code == 0
         assert "rocket" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def _submit(self, jobs_file, tenant, seed, workload="vqe"):
+        return main([
+            "submit", workload, "--qubits", "3", "--shots", "40",
+            "--iterations", "1", "--seed", str(seed),
+            "--tenant", tenant, "--jobs-file", str(jobs_file),
+        ])
+
+    def test_submit_appends_to_jobs_file(self, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        assert self._submit(jobs_file, "alice", seed=1) == 0
+        assert self._submit(jobs_file, "bob", seed=2) == 0
+        out = capsys.readouterr().out
+        assert "queued request 1" in out and "queued request 2" in out
+        entries = json.loads(jobs_file.read_text())
+        assert [entry["tenant"] for entry in entries] == ["alice", "bob"]
+        assert entries[0]["workload"] == "vqe"
+        assert entries[0]["qubits"] == 3
+
+    def test_serve_runs_job_file(self, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        self._submit(jobs_file, "alice", seed=1)
+        self._submit(jobs_file, "bob", seed=2)
+        self._submit(jobs_file, "bob", seed=2)  # duplicate: coalesces
+        capsys.readouterr()
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "serve", "--jobs", str(jobs_file), "--workers", "1",
+            "--metrics-out", str(metrics_path), "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 accepted / 0 rejected" in out
+        assert "coalesced with" in out
+        assert "fairness (Jain)" in out
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["jobs_by_state"] == {"done": 3}
+        assert "traceEvents" in trace_path.read_text()
+
+    def test_serve_enforces_tenant_quota(self, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        for seed in range(3):
+            self._submit(jobs_file, "hog", seed=seed)
+        capsys.readouterr()
+        code = main([
+            "serve", "--jobs", str(jobs_file), "--workers", "1",
+            "--tenant-quota", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 accepted / 1 rejected" in out
+        assert "[tenant_quota]" in out
+
+    def test_serve_missing_or_invalid_job_file(self, tmp_path, capsys):
+        assert main(["serve", "--jobs", str(tmp_path / "nope.json")]) == 1
+        assert "not found" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text('[{"workload": "grover"}]')
+        assert main(["serve", "--jobs", str(bad)]) == 1
+        assert "entry #0 is invalid" in capsys.readouterr().err
+
+    def test_submit_inline_runs_job(self, capsys):
+        code = main([
+            "submit", "vqe", "--qubits", "3", "--shots", "40",
+            "--iterations", "1", "--tenant", "alice",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[done] tenant=alice" in out
+        assert "best cost" in out

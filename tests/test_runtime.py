@@ -214,6 +214,18 @@ class TestEngineParity:
         assert extra["eval_cache.hits"] == float(cache.hits)
         assert extra["runtime.evaluations"] > 0
 
+    def test_cache_stats_rendered_in_summary(self, workload):
+        cache = EvalCache(256)
+        _run(_engine(max_workers=1, cache=cache), workload, "gd")
+        result = _run(_engine(max_workers=1, cache=cache), workload, "gd")
+        summary = result.report.summary()
+        assert "eval cache:" in summary
+        assert f"{cache.hits:.0f} hits" in summary
+        assert "hit rate" in summary
+        # An uncached run stays silent about the cache.
+        plain = _run(_engine(max_workers=1), workload, "gd")
+        assert "eval cache" not in plain.report.summary()
+
 
 class TestEngineFallbacks:
     def _bindings(self, parameters, offsets):

@@ -276,3 +276,49 @@ class TestWorkloadBuilders:
     def test_graph_size_checked(self):
         with pytest.raises(ValueError):
             qaoa_workload(8, graph=nx.path_graph(4))
+
+
+class TestRunnerRngHygiene:
+    """HybridRunner runs are self-contained: no RNG leaks between runs."""
+
+    def _runner(self, optimizer):
+        from repro import HybridRunner
+
+        class EchoPlatform:
+            """Deterministic stand-in: energy is a pure function of params."""
+
+            def prepare(self, ansatz, observable):
+                pass
+
+            def evaluate(self, values, shots):
+                return float(sum(v * v for v in values.values()))
+
+            def charge_optimizer_step(self, n_params, method):
+                pass
+
+            def finish(self):
+                from repro.analysis import ExecutionReport
+                return ExecutionReport(platform="echo")
+
+        wl = qaoa_workload(4, n_layers=2)
+        return HybridRunner(
+            EchoPlatform(), wl.ansatz, wl.parameters, wl.observable,
+            optimizer, shots=50, iterations=3,
+        )
+
+    def test_reused_optimizer_gives_identical_runs(self):
+        # One Spsa instance shared by two runs (restart pattern): the
+        # second run must replay the same stochastic schedule, not
+        # continue the first run's stream.
+        optimizer = Spsa(seed=9)
+        first = self._runner(optimizer).run(seed=4)
+        second = self._runner(optimizer).run(seed=4)
+        assert first.cost_history == second.cost_history
+        assert np.array_equal(first.final_params, second.final_params)
+
+    def test_run_does_not_touch_global_numpy_rng(self):
+        state_before = np.random.get_state()[1].copy()
+        self._runner(Spsa(seed=9)).run(seed=4)
+        self._runner(make_optimizer("gd")).run(seed=4)
+        state_after = np.random.get_state()[1]
+        assert np.array_equal(state_before, state_after)
