@@ -26,6 +26,7 @@ paper-vs-measured record of every table and figure.
 from repro.analysis import ExecutionReport, TimeBreakdown
 from repro.baseline import DecoupledSystem
 from repro.core import QtenonConfig, QtenonFeatures, QtenonSystem
+from repro.faults import FaultInjector, FaultPlan
 from repro.quantum import (
     Parameter,
     PauliString,
@@ -34,7 +35,7 @@ from repro.quantum import (
     QuantumDevice,
     Sampler,
 )
-from repro.runtime import EvalCache, EvaluationEngine
+from repro.runtime import CircuitBreaker, EvalCache, EvaluationEngine
 from repro.service import JobService, JobSpec, ServiceAPI, ServiceConfig
 from repro.vqa import (
     HybridResult,
@@ -64,6 +65,9 @@ __all__ = [
     "Sampler",
     "EvalCache",
     "EvaluationEngine",
+    "FaultInjector",
+    "FaultPlan",
+    "CircuitBreaker",
     "JobService",
     "JobSpec",
     "ServiceAPI",

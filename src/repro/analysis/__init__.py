@@ -8,6 +8,7 @@ from repro.analysis.export import (
     reports_to_csv,
     to_json,
 )
+from repro.analysis.resilience import campaign_digest, render_campaign
 from repro.analysis.trace import Span, TraceRecorder
 from repro.analysis.tables import (
     format_percentage_breakdown,
@@ -33,4 +34,6 @@ __all__ = [
     "reports_to_csv",
     "TraceRecorder",
     "Span",
+    "campaign_digest",
+    "render_campaign",
 ]

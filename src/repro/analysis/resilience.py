@@ -1,0 +1,94 @@
+"""Digesting and rendering chaos-campaign results.
+
+A campaign's headline property is *reproducibility*: the same
+:class:`~repro.faults.plan.FaultPlan` must produce the same faults,
+recoveries and modelled timelines, bit for bit.  :func:`campaign_digest`
+pins that down — it hashes the canonical JSON of the campaign's
+deterministic result subtree (sim-time metrics, counters, traces;
+wall-clock measurements are excluded by construction because the
+campaign driver keeps them in a separate subtree), and the test suite
+asserts two runs of the same plan agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+
+
+def campaign_digest(deterministic: Dict[str, object]) -> str:
+    """Content address of a campaign's deterministic result subtree.
+
+    Canonical JSON (sorted keys, no whitespace variance) so dict
+    insertion order cannot leak into the digest.
+    """
+    payload = json.dumps(
+        deterministic, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    raise TypeError(f"campaign results must be JSON-able, got {type(value)!r}")
+
+
+def render_campaign(results: Dict[str, object]) -> str:
+    """Human-readable campaign report (the ``repro chaos`` output)."""
+    sections: List[str] = [f"campaign digest: {results.get('digest', '?')}"]
+
+    sweep = results.get("link_loss_sweep")
+    if sweep:
+        rows = []
+        for point in sweep:
+            rows.append(
+                [
+                    f"{point['loss_p']:.1%}",
+                    point["baseline"]["retransmits"],
+                    _ms(point["baseline"]["end_to_end_ps"]),
+                    _ms(point["qtenon"]["end_to_end_ps"]),
+                    "yes" if point["qtenon_trace_identical"] else "NO",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["link loss", "retransmits", "baseline e2e", "qtenon e2e",
+                 "qtenon trace ok"],
+                rows,
+                title="link-loss sweep (baseline UDP vs Qtenon unified memory)",
+            )
+        )
+
+    breaker = results.get("breaker_recovery")
+    if breaker:
+        sections.append(
+            "breaker: opens={opens} probes={probes} recoveries={recoveries} "
+            "final_state={final_state}".format(**breaker)
+        )
+
+    service = results.get("service_availability")
+    if service:
+        sections.append(
+            "service: availability={availability:.1%} "
+            "({done}/{accepted} jobs, {recovered} recovered via retry)".format(
+                **service
+            )
+        )
+
+    drift = results.get("readout_drift")
+    if drift:
+        sections.append(
+            "readout drift: p01 {p01_start:.4f} -> {p01_end:.4f} over "
+            "{evaluations} evaluations (energy shift {energy_shift:+.4f})".format(
+                **drift
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _ms(ps: float) -> str:
+    return f"{ps / 1e9:.3f} ms"

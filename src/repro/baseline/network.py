@@ -11,9 +11,13 @@ stack, NIC, DMA) plus size over bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.kernel import ms, us
 from repro.sim.stats import StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -56,18 +60,60 @@ LINKS = {link.name: link for link in (UDP_100GBE, USB, ETHERNET_1GBE)}
 
 
 class LinkTracker:
-    """Per-run accounting wrapper around a :class:`LinkModel`."""
+    """Per-run accounting wrapper around a :class:`LinkModel`.
 
-    def __init__(self, link: LinkModel) -> None:
+    With a :class:`~repro.faults.injector.FaultInjector` attached the
+    link stops being ideal: each message may be dropped (detected by
+    the receiver's NACK after ``nack_timeout_ps``, then retransmitted
+    at full cost), reordered (held one message slot by the
+    sequence-number reassembly) or jittered.  All recovery time is
+    charged into the returned transfer latency, so the decoupled
+    baseline's end-to-end timeline degrades exactly as a lossy UDP
+    testbed would — which is the effect the chaos campaigns measure.
+    """
+
+    def __init__(
+        self, link: LinkModel, fault_injector: Optional["FaultInjector"] = None
+    ) -> None:
         self.link = link
+        self.fault_injector = fault_injector
         self.stats = StatGroup(f"link-{link.name}")
         self._messages = self.stats.counter("messages")
         self._bytes = self.stats.counter("bytes")
+        self._retransmits = self.stats.counter("retransmits")
+        self._reorders = self.stats.counter("reorders")
+        self._recovery_ps = self.stats.counter("recovery_ps")
 
     def send(self, n_bytes: int) -> int:
         self._messages.increment()
         self._bytes.increment(n_bytes)
-        return self.link.transfer_ps(n_bytes)
+        latency = self.link.transfer_ps(n_bytes)
+        if self.fault_injector is None:
+            return latency
+        decision = self.fault_injector.link_message(self._messages.value, n_bytes)
+        penalty = decision.jitter_ps
+        if decision.drops:
+            # Each lost copy costs the NACK detection timeout plus a
+            # full retransmission; the link also re-moves the bytes.
+            per_drop = self.fault_injector.plan.link.nack_timeout_ps + latency
+            penalty += decision.drops * per_drop
+            self._retransmits.increment(decision.drops)
+            self._bytes.increment(decision.drops * n_bytes)
+        if decision.reordered:
+            # The straggler is released once the next in-order message
+            # lands: one extra per-message slot of delay.
+            penalty += self.link.per_message_latency_ps
+            self._reorders.increment()
+        self._recovery_ps.increment(penalty)
+        return latency + penalty
+
+    @property
+    def retransmits(self) -> int:
+        return self._retransmits.value
+
+    @property
+    def recovery_ps(self) -> int:
+        return self._recovery_ps.value
 
     @property
     def messages(self) -> int:

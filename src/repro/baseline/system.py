@@ -47,13 +47,22 @@ class DecoupledSystem:
         exact_limit: int = 14,
         backend: Optional[str] = None,
         timing_only: bool = False,
+        readout_noise=None,
+        fault_injector=None,
     ) -> None:
         self.n_qubits = n_qubits
         self.core = core
-        self.link = LinkTracker(link)
+        self.fault_injector = fault_injector
+        self.link = LinkTracker(link, fault_injector=fault_injector)
         self.fpga = FpgaController(fpga_config)
-        self.device = QuantumDevice(n_qubits)
-        self.sampler = Sampler(seed=seed, exact_limit=exact_limit, force_backend=backend)
+        self.device = QuantumDevice(n_qubits, readout_noise=readout_noise)
+        self.sampler = Sampler(
+            seed=seed,
+            exact_limit=exact_limit,
+            force_backend=backend,
+            readout_noise=self.device.readout_noise,
+        )
+        self._base_readout = self.device.readout_noise
         self.workload = HostWorkloadModel(core, costs)
         self.jit = JitCompiler(self.workload)
         #: timing-only mode (see QtenonSystem): identical modelled
@@ -91,6 +100,12 @@ class DecoupledSystem:
             raise RuntimeError("call prepare() before evaluate()")
         if shots <= 0:
             raise ValueError(f"shots must be positive, got {shots}")
+        if self.fault_injector is not None and self._base_readout is not None:
+            # Calibration drift: the assignment errors grow with the
+            # evaluation index until the next (modelled) recalibration.
+            self.sampler.readout_noise = self.fault_injector.drifted_readout(
+                self._base_readout, self.report.evaluations
+            )
         self.report.evaluations += 1
         self.report.total_shots += shots * len(self._groups)
 
@@ -111,6 +126,16 @@ class DecoupledSystem:
         self.report.end_to_end_ps = self.now
         self.report.extra.setdefault("link_messages", float(self.link.messages))
         self.report.extra.setdefault("jit_compilations", float(self.jit.compilations))
+        if self.fault_injector is not None:
+            self.report.extra.setdefault(
+                "link_retransmits", float(self.link.retransmits)
+            )
+            self.report.extra.setdefault(
+                "link_recovery_ps", float(self.link.recovery_ps)
+            )
+        if self._base_readout is not None:
+            self.report.extra.setdefault("readout_p01", self._base_readout.p01)
+            self.report.extra.setdefault("readout_p10", self._base_readout.p10)
         return self.report
 
     # ------------------------------------------------------------------

@@ -8,11 +8,13 @@ without writing code::
     python -m repro run vqe --qubits 64 --timing-only --compare
     python -m repro submit qaoa --qubits 5 --tenant alice --jobs-file jobs.json
     python -m repro serve --jobs jobs.json --workers 4 --cache-size 4096
+    python -m repro chaos --loss 0.05 --crash-p 0.3 --out campaign.json
     python -m repro info
 
 ``submit`` composes (or immediately runs) service job requests;
 ``serve`` drives the multi-tenant job service over a request file and
-prints per-job outcomes plus the JSON metrics snapshot.
+prints per-job outcomes plus the JSON metrics snapshot; ``chaos`` runs
+a deterministic fault-injection campaign (see repro.faults).
 """
 
 from __future__ import annotations
@@ -87,6 +89,18 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
+def _probability(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a probability in [0, 1], got {value}"
+        )
+    return value
+
+
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     """Job-spec flags shared by ``submit`` (service-side defaults)."""
     parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -138,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=_nonnegative_int, default=0,
         help="entries in the content-addressed result cache (0 = off)",
     )
+    run.add_argument(
+        "--readout-p01", type=_probability, default=0.0,
+        help="readout assignment error P(read 1 | prepared 0)",
+    )
+    run.add_argument(
+        "--readout-p10", type=_probability, default=0.0,
+        help="readout assignment error P(read 0 | prepared 1)",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -187,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="initial retry backoff in seconds (doubles per retry)",
     )
     serve.add_argument(
+        "--backoff-max", type=_nonnegative_float, default=1.0,
+        help="cap on the (jittered) retry backoff in seconds",
+    )
+    serve.add_argument(
         "--timing-only", action="store_true",
         help="timing-only platforms (large qubit counts)",
     )
@@ -200,17 +226,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the per-tenant Chrome trace timeline to this path",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection campaign",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--qubits", type=_positive_int, default=4)
+    chaos.add_argument("--shots", type=_positive_int, default=128)
+    chaos.add_argument("--iterations", type=_positive_int, default=2)
+    chaos.add_argument(
+        "--optimizer", choices=("gd", "spsa"), default="spsa"
+    )
+    chaos.add_argument(
+        "--loss", type=_probability, action="append", default=None,
+        help="link-loss sweep point (repeatable; default 0, 1%%, 5%%)",
+    )
+    chaos.add_argument(
+        "--crash-p", type=_probability, default=0.3,
+        help="per-dispatch worker crash probability (service scenario)",
+    )
+    chaos.add_argument(
+        "--jobs", type=_positive_int, default=8,
+        help="jobs submitted in the service-availability scenario",
+    )
+    chaos.add_argument(
+        "--sections", default=None,
+        help="comma-separated scenario subset: link,breaker,service,readout",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="write the full campaign JSON to this path",
+    )
+
     sub.add_parser("info", help="print version and model constants")
     return parser
 
 
 def _make_platform(name: str, args) -> object:
+    readout = None
+    if args.readout_p01 > 0.0 or args.readout_p10 > 0.0:
+        from repro.quantum.noise import ReadoutNoise
+
+        readout = ReadoutNoise(p01=args.readout_p01, p10=args.readout_p10)
     if name == "qtenon":
         platform = QtenonSystem(
             args.qubits,
             core=core_by_name(args.core),
             seed=args.seed,
             timing_only=args.timing_only,
+            readout_noise=readout,
             config=QtenonConfig(
                 n_qubits=args.qubits,
                 regfile_entries=max(1024, 8 * args.qubits),
@@ -218,7 +282,10 @@ def _make_platform(name: str, args) -> object:
         )
     else:
         platform = DecoupledSystem(
-            args.qubits, seed=args.seed, timing_only=args.timing_only
+            args.qubits,
+            seed=args.seed,
+            timing_only=args.timing_only,
+            readout_noise=readout,
         )
     if args.workers > 1 or args.cache_size > 0:
         platform = EvaluationEngine(
@@ -363,6 +430,7 @@ def cmd_serve(args) -> int:
         job_timeout_s=args.timeout,
         max_attempts=args.max_attempts,
         retry_backoff_s=args.backoff,
+        retry_backoff_max_s=max(args.backoff, args.backoff_max),
         core=args.core,
         timing_only=args.timing_only,
     )
@@ -414,6 +482,41 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.analysis.resilience import render_campaign
+    from repro.faults.campaign import ALL_SECTIONS, CampaignConfig, run_campaign
+
+    sections = ALL_SECTIONS
+    if args.sections is not None:
+        sections = tuple(
+            part.strip() for part in args.sections.split(",") if part.strip()
+        )
+    losses = tuple(args.loss) if args.loss else (0.0, 0.01, 0.05)
+    try:
+        config = CampaignConfig(
+            seed=args.seed,
+            n_qubits=args.qubits,
+            shots=args.shots,
+            iterations=args.iterations,
+            optimizer=args.optimizer,
+            losses=losses,
+            crash_p=args.crash_p,
+            service_jobs=args.jobs,
+            sections=sections,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    results = run_campaign(config)
+    print(render_campaign(results))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\ncampaign -> {args.out}")
+    return 0
+
+
 def cmd_info(_args) -> int:
     from repro.quantum.gates import MEASUREMENT_NS, ONE_QUBIT_NS, TWO_QUBIT_NS
 
@@ -444,6 +547,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_submit(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return cmd_info(args)
 
 

@@ -10,7 +10,7 @@ model can place it on the global timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.core.scheduler import (
     shot_record_bytes,
 )
 from repro.core.slt import QSpace, SkipLookupTable
+from repro.faults.protocol import PutFramer, PutVerifier
 from repro.isa.instructions import QAcquire, QSet, QUpdate
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.quantum.circuit import QuantumCircuit
@@ -35,6 +36,9 @@ from repro.quantum.sampler import Sampler
 from repro.sim.clock import HOST_CLOCK
 from repro.sim.kernel import ns
 from repro.sim.stats import StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -57,11 +61,13 @@ class QuantumController:
         hierarchy: MemoryHierarchy,
         device: QuantumDevice,
         sampler: Sampler,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.device = device
         self.sampler = sampler
+        self.fault_injector = fault_injector
         self.clock = HOST_CLOCK
 
         self.qcc = QuantumControllerCache(config)
@@ -77,6 +83,12 @@ class QuantumController:
         self.stats = StatGroup("controller")
         self._dirty: List[Tuple[LoweredGate, int]] = []  # (gate, resolved data)
         self._program: Optional[QtenonProgram] = None
+        # End-to-end protection of the measurement path (sequence
+        # numbers + checksums); only consulted under fault injection.
+        self.put_framer = PutFramer()
+        self.put_verifier = PutVerifier()
+        self._run_sequence = 0
+        self._acquire_sequence = 0
 
     # ------------------------------------------------------------------
     # program registration
@@ -211,21 +223,47 @@ class QuantumController:
         shot_ps = self.device.shot_duration_ps(circuit)
         batches = plan_transmissions(circuit.n_qubits, shots, host_addr, batched)
         put_latency = self._put_response_latency(host_addr, record, now_ps)
+
+        # Fault layer: decide per-batch PUT attempts up front so the
+        # retransmission serialisation enters the overlap timeline.
+        decisions = None
+        attempts_per_batch = None
+        retry_penalty_ps = 0
+        run_index = self._run_sequence
+        self._run_sequence += 1
+        if self.fault_injector is not None:
+            decisions = [
+                self.fault_injector.measurement_put(run_index, i)
+                for i in range(len(batches))
+            ]
+            attempts_per_batch = [d.attempts for d in decisions]
+            # A failed attempt costs detection (watchdog / checksum
+            # NACK) plus the re-send occupying the output port.
+            retry_penalty_ps = (
+                self.fault_injector.plan.measurement.retry_timeout_ps + put_latency
+            )
+
         timeline = compute_run_timeline(
             batches,
             start_ps=now_ps,
             shot_duration_ps=shot_ps,
             put_issue_overhead_ps=self.clock.period_ps,
             put_response_latency_ps=put_latency,
+            attempts_per_batch=attempts_per_batch,
+            retry_penalty_ps=retry_penalty_ps,
         )
 
         if stream_results:
-            for batch, issue in zip(batches, timeline.put_issue_times):
+            for index, (batch, issue) in enumerate(zip(batches, timeline.put_issue_times)):
                 if functional:
                     payload = bytearray()
                     for shot in range(batch.first_shot, batch.first_shot + batch.n_shots):
                         payload += shot_words[shot].to_bytes(8, "little")[:record]
-                    self.hierarchy.image.write_bytes(batch.host_addr, bytes(payload))
+                    self._deliver_batch_payload(
+                        batch.host_addr,
+                        bytes(payload),
+                        decisions[index] if decisions else None,
+                    )
                 self.barrier.mark_put(batch.host_addr, batch.n_bytes, issue)
         return RunResult(
             timeline=timeline,
@@ -234,6 +272,38 @@ class QuantumController:
             host_addr=host_addr,
             n_batches=len(batches),
         )
+
+    def _deliver_batch_payload(self, host_addr, payload, decision=None) -> None:
+        """Move one batch's bytes to host memory through the framing
+        layer.
+
+        Fault-free runs take the straight path.  Under injection the
+        batch is framed (sequence number + Adler-32 checksum); each
+        corrupted attempt is *delivered and rejected* by the receiver's
+        real checksum verification, each dropped attempt never arrives
+        (the sender's watchdog retransmits), and the final good attempt
+        lands the payload at its original address — downstream parsing
+        (barrier ranges, q_acquire offsets) is unchanged.
+        """
+        if decision is None or (
+            decision.dropped_attempts == 0 and decision.corrupted_attempts == 0
+        ):
+            self.hierarchy.image.write_bytes(host_addr, payload)
+            if decision is not None:
+                frame = self.put_framer.frame(payload)
+                accepted = self.put_verifier.deliver(frame)
+                if not accepted:  # pragma: no cover - sequence is monotonic
+                    raise RuntimeError("clean PUT frame rejected")
+            return
+        frame = self.put_framer.frame(payload)
+        for _ in range(decision.corrupted_attempts):
+            if self.put_verifier.deliver(frame, corrupted=True):
+                raise RuntimeError("corrupted PUT frame accepted")
+        if not self.put_verifier.deliver(frame):
+            raise RuntimeError("retransmitted PUT frame rejected")
+        self.hierarchy.image.write_bytes(host_addr, payload)
+        retransmits = decision.dropped_attempts + decision.corrupted_attempts
+        self.stats.counter("put_retransmits").increment(retransmits)
 
     def _put_response_latency(self, host_addr: int, n_bytes: int, now_ps: int) -> int:
         l2 = self.hierarchy.l2_access_latency(host_addr, max(n_bytes, 8), True, now_ps)
@@ -259,6 +329,17 @@ class QuantumController:
         for i in range(words):
             value = self.qcc.measure_read((where.index + i) % self.config.measure_entries)
             self.hierarchy.image.write_u64(instr.classical_addr + 8 * i, value)
+        # Controller watchdog: a stuck acquisition (the .measure read
+        # port wedged mid-burst) is detected after retry_timeout_ps and
+        # the pull reissued; each firing delays the transfer start.
+        if self.fault_injector is not None:
+            acquire_index = self._acquire_sequence
+            self._acquire_sequence += 1
+            fires = self.fault_injector.acquire_stuck(acquire_index)
+            if fires:
+                timeout = self.fault_injector.plan.measurement.retry_timeout_ps
+                now_ps += fires * timeout
+                self.stats.counter("acquire_watchdog_fires").increment(fires)
         target_latency = self.hierarchy.l2_access_latency(
             instr.classical_addr, min(n_bytes, 64), is_write=True, now_ps=now_ps
         )

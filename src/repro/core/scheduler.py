@@ -19,7 +19,7 @@ completions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 BUS_WIDTH_BITS = 256
 
@@ -112,6 +112,8 @@ def compute_run_timeline(
     shot_duration_ps: int,
     put_issue_overhead_ps: int,
     put_response_latency_ps: int,
+    attempts_per_batch: Optional[Sequence[int]] = None,
+    retry_penalty_ps: int = 0,
 ) -> RunTimeline:
     """Overlap shots with PUTs (Fig. 9b timing).
 
@@ -120,19 +122,38 @@ def compute_run_timeline(
     PUTs on the controller's output port) and responds after the bus +
     L2 latency.  Quantum execution is never stalled by transmissions —
     the .measure segment double-buffers.
+
+    ``attempts_per_batch`` models the end-to-end retransmit protocol of
+    the fault layer: batch *i* needs ``attempts_per_batch[i]`` PUT
+    attempts (all >= 1; 1 means fault-free), and every failed attempt
+    occupies the controller's output port for ``retry_penalty_ps``
+    (NACK detection + re-send) before the successful one issues.  The
+    default (``None``) is bit-identical to the fault-free timeline.
     """
     if not batches:
         raise ValueError("no transmission batches")
     if shot_duration_ps <= 0:
         raise ValueError("shot duration must be positive")
+    if attempts_per_batch is not None:
+        if len(attempts_per_batch) != len(batches):
+            raise ValueError(
+                f"attempts_per_batch has {len(attempts_per_batch)} entries "
+                f"for {len(batches)} batches"
+            )
+        if any(a < 1 for a in attempts_per_batch):
+            raise ValueError("every batch needs at least one PUT attempt")
+    if retry_penalty_ps < 0:
+        raise ValueError(f"retry_penalty_ps must be >= 0, got {retry_penalty_ps}")
     issue_times: List[int] = []
     response_times: List[int] = []
     port_free = start_ps
     quantum_end = start_ps
-    for batch in batches:
+    for index, batch in enumerate(batches):
         shot_done = start_ps + (batch.last_shot + 1) * shot_duration_ps
         quantum_end = max(quantum_end, shot_done)
+        attempts = 1 if attempts_per_batch is None else attempts_per_batch[index]
         issue = max(shot_done, port_free) + put_issue_overhead_ps
+        issue += (attempts - 1) * retry_penalty_ps
         port_free = issue
         issue_times.append(issue)
         response_times.append(issue + put_response_latency_ps)

@@ -117,6 +117,8 @@ class QtenonSystem:
         timing_only: bool = False,
         optimize_circuits: bool = False,
         trace_events: bool = False,
+        readout_noise=None,
+        fault_injector=None,
     ) -> None:
         if overlap_mode not in ("analytic", "event"):
             raise ValueError(f"overlap_mode must be 'analytic' or 'event', got {overlap_mode!r}")
@@ -140,10 +142,21 @@ class QtenonSystem:
         self.clock = HOST_CLOCK
 
         self.hierarchy = MemoryHierarchy()
-        self.device = QuantumDevice(self.config.n_qubits)
-        self.sampler = Sampler(seed=seed, exact_limit=exact_limit, force_backend=backend)
+        self.fault_injector = fault_injector
+        self.device = QuantumDevice(self.config.n_qubits, readout_noise=readout_noise)
+        self.sampler = Sampler(
+            seed=seed,
+            exact_limit=exact_limit,
+            force_backend=backend,
+            readout_noise=self.device.readout_noise,
+        )
+        self._base_readout = self.device.readout_noise
         self.controller = QuantumController(
-            self.config, self.hierarchy, self.device, self.sampler
+            self.config,
+            self.hierarchy,
+            self.device,
+            self.sampler,
+            fault_injector=fault_injector,
         )
         self.workload = HostWorkloadModel(core, costs)
 
@@ -200,6 +213,12 @@ class QtenonSystem:
             raise RuntimeError("call prepare() before evaluate()")
         if shots <= 0:
             raise ValueError(f"shots must be positive, got {shots}")
+        if self.fault_injector is not None and self._base_readout is not None:
+            # Calibration drift: assignment errors grow with the
+            # evaluation index until the next (modelled) recalibration.
+            self.sampler.readout_noise = self.fault_injector.drifted_readout(
+                self._base_readout, self.report.evaluations
+            )
         self.report.evaluations += 1
         self.report.total_shots += shots * len(self._groups)
 
@@ -238,6 +257,18 @@ class QtenonSystem:
     def finish(self) -> ExecutionReport:
         self.report.end_to_end_ps = self.now
         self.report.extra.setdefault("slt_hit_rate", self._slt_hit_rate())
+        if self.fault_injector is not None:
+            stats = self.controller.stats
+            self.report.extra.setdefault(
+                "put_retransmits", float(stats.counter("put_retransmits").value)
+            )
+            self.report.extra.setdefault(
+                "acquire_watchdog_fires",
+                float(stats.counter("acquire_watchdog_fires").value),
+            )
+        if self._base_readout is not None:
+            self.report.extra.setdefault("readout_p01", self._base_readout.p01)
+            self.report.extra.setdefault("readout_p10", self._base_readout.p10)
         return self.report
 
     # ------------------------------------------------------------------

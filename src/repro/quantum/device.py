@@ -12,10 +12,11 @@ qubit has its own control line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.gates import MEASUREMENT_NS, ONE_QUBIT_NS, TWO_QUBIT_NS
+from repro.quantum.noise import ReadoutNoise
 from repro.sim.kernel import ns
 
 
@@ -45,6 +46,10 @@ class QuantumDevice:
         The analog front end of §5.2: two 16-bit 2 GHz DACs per qubit,
         which sets the 64 bit/ns (8 GB/s) per-qubit pulse bandwidth the
         controller's ``.pulse`` segment must sustain.
+    readout_noise:
+        The chip's readout calibration — the assignment-error channel
+        samplers apply post-measurement.  ``None`` models an ideal
+        readout chain (the paper's configuration).
     """
 
     n_qubits: int
@@ -52,6 +57,7 @@ class QuantumDevice:
     dacs_per_qubit: int = 2
     dac_bits: int = 16
     dac_freq_hz: int = 2_000_000_000
+    readout_noise: Optional[ReadoutNoise] = None
 
     def __post_init__(self) -> None:
         if self.n_qubits <= 0:

@@ -9,9 +9,13 @@ without touching the architectural model:
   platform's timing model serially;
 * :class:`EvalCache` — a bounded LRU keyed on the content address of
   an evaluation (circuit structure, parameters, shots, seed, backend),
-  so repeated requests are served bit-identically without recompute.
+  so repeated requests are served bit-identically without recompute;
+* :class:`CircuitBreaker` — the engine's pool-failure policy: repeated
+  worker crashes open the breaker (serial fallback) and a half-open
+  probe restores parallelism after the cooldown.
 """
 
+from repro.runtime.breaker import BreakerState, CircuitBreaker
 from repro.runtime.cache import (
     DEFAULT_MAX_ENTRIES,
     EvalCache,
@@ -27,6 +31,8 @@ from repro.runtime.engine import (
 )
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "DEFAULT_MAX_ENTRIES",
     "EvalCache",
     "EvalKey",

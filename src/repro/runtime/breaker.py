@@ -1,0 +1,97 @@
+"""Circuit breaker for the evaluation engine's process pool.
+
+The engine's original failure policy — retry a broken pool once, then
+degrade to serial *permanently* — loses all parallelism for the rest
+of the run on the first transient double-fault (an OOM kill during a
+spike, a container restart).  The breaker upgrades that policy to the
+standard three-state machine:
+
+* **closed** — pool dispatch allowed; consecutive failures counted;
+* **open** — after ``failure_threshold`` consecutive failures the pool
+  is bypassed (serial evaluation) for ``cooldown_s``;
+* **half-open** — after the cooldown, one batch probes the pool: a
+  success closes the breaker (the pool recovered), a failure re-opens
+  it and restarts the cooldown.
+
+Time comes from an injectable ``clock`` so tests and chaos campaigns
+assert recovery through the state machine, never through sleeps.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+from repro.sim.stats import StatGroup
+
+DEFAULT_FAILURE_THRESHOLD = 2
+DEFAULT_COOLDOWN_S = 30.0
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Three-state breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.stats = StatGroup("breaker")
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the protected resource be used right now?
+
+        Transitions open → half-open when the cooldown has elapsed; the
+        caller must report the probe's outcome via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self.state is BreakerState.OPEN:
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                self.state = BreakerState.HALF_OPEN
+                self.stats.counter("probes").increment()
+            else:
+                return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self.stats.counter("recoveries").increment()
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self.trip()
+
+    def trip(self) -> None:
+        """Open immediately (e.g. the pool cannot even be created)."""
+        if self.state is not BreakerState.OPEN:
+            self.stats.counter("opens").increment()
+        self.state = BreakerState.OPEN
+        self._opened_at = self.clock()
+        self._consecutive_failures = 0

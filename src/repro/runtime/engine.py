@@ -34,12 +34,18 @@ the parity tests pin down.
 
 Failure handling: ``max_workers=1`` never spawns a pool; a worker
 crash (``BrokenProcessPool``) rebuilds the pool and retries the batch
-once, then degrades permanently to in-process serial evaluation.
+once.  Repeated crashes open a :class:`~repro.runtime.breaker.CircuitBreaker`
+— evaluation falls back to in-process serial until the cooldown
+elapses, after which one batch probes the pool (half-open) and a
+success restores parallelism.  The old policy degraded *permanently*
+on the second crash, losing all parallelism for the rest of the run
+on a transient double-fault.
 """
 
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -49,11 +55,13 @@ import numpy as np
 
 from repro.analysis.breakdown import ExecutionReport
 from repro.compiler.transpile import transpile
+from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerHang
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.noise import ReadoutNoise
 from repro.quantum.parameters import Parameter
 from repro.quantum.pauli import MeasurementGroup, PauliSum
 from repro.quantum.sampler import DEFAULT_EXACT_LIMIT, Sampler
+from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.cache import (
     EvalCache,
     EvalKey,
@@ -179,6 +187,8 @@ class EvaluationEngine:
         max_workers: int = 1,
         cache: Optional[EvalCache] = None,
         seed: int = 0,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_injector=None,
     ) -> None:
         if max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -186,11 +196,12 @@ class EvaluationEngine:
         self.max_workers = max_workers
         self.cache = cache
         self.seed = seed
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.fault_injector = fault_injector
         self.stats = StatGroup("runtime")
         self._spec: Optional[EvaluationSpec] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_payload: Optional[bytes] = None
-        self._pool_broken = False
         #: injectable = the platform exposes the ``timing_only`` switch
         #: that lets the engine replay timing without re-simulating.
         self._injectable = hasattr(platform, "timing_only")
@@ -294,6 +305,11 @@ class EvaluationEngine:
         report = self.platform.finish()
         for name, value in self.stats.as_dict().items():
             report.extra[name] = float(value)
+        for name, value in self.breaker.stats.as_dict().items():
+            report.extra[name] = float(value)
+        if self.fault_injector is not None:
+            for name, value in self.fault_injector.stats.as_dict().items():
+                report.extra[name] = float(value)
         if self.cache is not None:
             for name, value in self.cache.stats.as_dict().items():
                 report.extra[name] = float(value)
@@ -320,26 +336,73 @@ class EvaluationEngine:
     def _run_tasks(
         self, tasks: List[Tuple[np.ndarray, int, int]]
     ) -> List[float]:
-        """Evaluate tasks on the pool, retrying once past a dead pool."""
-        if self.max_workers > 1 and not self._pool_broken:
+        """Evaluate tasks on the pool, retrying once past a dead pool.
+
+        Every dispatch is gated by the circuit breaker: a crashed pool
+        records a failure per attempt, so two consecutive crashes open
+        the breaker and the batch (plus subsequent ones) runs serially
+        in-process until the cooldown elapses and a half-open probe
+        succeeds.
+        """
+        if self.max_workers > 1:
             for attempt in (0, 1):
+                if not self.breaker.allow():
+                    break
                 pool = self._ensure_pool()
                 if pool is None:
                     break
                 try:
+                    self._maybe_inject_worker_fault(tasks, attempt)
                     futures = [pool.submit(_worker_eval, *task) for task in tasks]
                     values = [future.result() for future in futures]
+                    self.breaker.record_success()
                     self.stats.counter("parallel_evaluations").increment(len(tasks))
                     return values
                 except BrokenProcessPool:
-                    self._shutdown_pool()
-                    if attempt == 0:
-                        self.stats.counter("pool_restarts").increment()
-                    else:
-                        self._pool_broken = True
-                        self.stats.counter("pool_failures").increment()
+                    self._record_pool_failure(attempt)
+                except InjectedWorkerCrash:
+                    self.stats.counter("injected_pool_crashes").increment()
+                    self._record_pool_failure(attempt)
+                except InjectedWorkerHang:
+                    self.stats.counter("injected_pool_hangs").increment()
+                    self._record_pool_failure(attempt)
         self.stats.counter("serial_evaluations").increment(len(tasks))
         return [evaluate_spec(self._spec, *task) for task in tasks]
+
+    def _record_pool_failure(self, attempt: int) -> None:
+        self._shutdown_pool()
+        self.breaker.record_failure()
+        if attempt == 0:
+            self.stats.counter("pool_restarts").increment()
+        else:
+            self.stats.counter("pool_failures").increment()
+
+    def _maybe_inject_worker_fault(
+        self, tasks: List[Tuple[np.ndarray, int, int]], attempt: int
+    ) -> None:
+        """Chaos hook: decide this dispatch's fate before it reaches
+        the pool.
+
+        A crash models the pool dying mid-batch (raises, caught like a
+        ``BrokenProcessPool``); a hang blocks for ``hang_s`` before a
+        watchdog reaps it (also a failure); a slowdown just delays.
+        Decisions are keyed on the batch's first sampler seed + attempt,
+        so they replay identically regardless of thread interleaving.
+        """
+        if self.fault_injector is None:
+            return
+        from repro.faults.injector import WORKER_CRASH, WORKER_HANG, WORKER_SLOW
+
+        event = self.fault_injector.worker_event(
+            "pool", tasks[0][2], len(tasks), attempt
+        )
+        if event == WORKER_CRASH:
+            raise InjectedWorkerCrash("injected pool worker crash")
+        if event == WORKER_HANG:
+            time.sleep(self.fault_injector.plan.worker.hang_s)
+            raise InjectedWorkerHang("injected pool worker hang")
+        if event == WORKER_SLOW:
+            time.sleep(self.fault_injector.plan.worker.slowdown_s)
 
     def _charge_timing(
         self, values: Dict[Parameter, float], shots: int, value: float
@@ -368,7 +431,7 @@ class EvaluationEngine:
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if self._pool is not None:
             return self._pool
-        if self._pool_payload is None or self._pool_broken:
+        if self._pool_payload is None:
             return None
         try:
             self._pool = ProcessPoolExecutor(
@@ -377,7 +440,9 @@ class EvaluationEngine:
                 initargs=(self._pool_payload,),
             )
         except OSError:
-            self._pool_broken = True
+            # Cannot even fork workers: open the breaker outright; a
+            # half-open probe after the cooldown will try again.
+            self.breaker.trip()
             self.stats.counter("pool_failures").increment()
             return None
         return self._pool

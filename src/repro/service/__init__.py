@@ -11,6 +11,7 @@ from repro.service.admission import AdmissionController
 from repro.service.api import BatchOutcome, ServiceAPI
 from repro.service.coalescer import RequestCoalescer
 from repro.service.drr import DeficitRoundRobin, jain_index
+from repro.service.health import BackendHealth, HealthRegistry
 from repro.service.jobs import (
     JobCancelled,
     JobRecord,
@@ -23,8 +24,10 @@ from repro.service.service import JobService, ServiceConfig
 
 __all__ = [
     "AdmissionController",
+    "BackendHealth",
     "BatchOutcome",
     "DeficitRoundRobin",
+    "HealthRegistry",
     "JobCancelled",
     "JobRecord",
     "JobService",

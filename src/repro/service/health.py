@@ -1,0 +1,85 @@
+"""Per-backend health tracking for the job service.
+
+The service runs jobs against two platform backends (``qtenon`` and
+``baseline``).  A misbehaving backend — a platform bug, a poisoned
+cache entry, injected worker crashes — shows up as failed attempts
+concentrated on one backend while the other stays clean.
+:class:`BackendHealth` keeps that signal per backend so operators (and
+the chaos campaigns) can tell *which* side of the comparison is sick
+from the ``metrics`` payload alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Consecutive failures after which a backend is reported unhealthy.
+DEFAULT_UNHEALTHY_AFTER = 3
+
+
+@dataclass
+class BackendHealth:
+    """Rolling health of one platform backend."""
+
+    name: str
+    unhealthy_after: int = DEFAULT_UNHEALTHY_AFTER
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    last_error: Optional[str] = None
+
+    def record_success(self) -> None:
+        self.attempts += 1
+        self.successes += 1
+        self.consecutive_failures = 0
+
+    def record_failure(self, error: str) -> None:
+        self.attempts += 1
+        self.failures += 1
+        self.consecutive_failures += 1
+        self.last_error = error
+
+    @property
+    def healthy(self) -> bool:
+        return self.consecutive_failures < self.unhealthy_after
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "healthy": self.healthy,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_rate": self.failure_rate,
+            "last_error": self.last_error,
+        }
+
+
+class HealthRegistry:
+    """Lazily-created :class:`BackendHealth` per backend name."""
+
+    def __init__(self, unhealthy_after: int = DEFAULT_UNHEALTHY_AFTER) -> None:
+        if unhealthy_after < 1:
+            raise ValueError(
+                f"unhealthy_after must be >= 1, got {unhealthy_after}"
+            )
+        self.unhealthy_after = unhealthy_after
+        self._backends: Dict[str, BackendHealth] = {}
+
+    def backend(self, name: str) -> BackendHealth:
+        if name not in self._backends:
+            self._backends[name] = BackendHealth(
+                name, unhealthy_after=self.unhealthy_after
+            )
+        return self._backends[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: health.snapshot() for name, health in sorted(self._backends.items())
+        }

@@ -192,6 +192,11 @@ class JobRecord:
     coalesced_with: Optional[str] = None
     #: cooperative-cancellation token checked between evaluations.
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: True when the *client* requested the cancel — distinguishes a
+    #: client cancellation from the service's own deadline unwinding,
+    #: so a cancel that lands during the post-deadline drain still
+    #: reports ``cancelled`` rather than ``timed_out``.
+    client_cancelled: bool = False
 
     @property
     def latency_s(self) -> Optional[float]:

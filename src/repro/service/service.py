@@ -42,6 +42,8 @@ Failure semantics:
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -52,9 +54,11 @@ from repro.analysis.trace import TraceRecorder
 from repro.baseline.system import DecoupledSystem
 from repro.core.config import QtenonConfig
 from repro.core.system import QtenonSystem
+from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerHang
 from repro.host import core_by_name
 from repro.runtime.cache import EvalCache
 from repro.runtime.engine import EvaluationEngine
+from repro.service.health import HealthRegistry
 from repro.service.admission import (
     DEFAULT_MAX_OPEN_JOBS,
     DEFAULT_TENANT_QUOTA,
@@ -93,6 +97,11 @@ class ServiceConfig:
     job_timeout_s: Optional[float] = None
     max_attempts: int = 2
     retry_backoff_s: float = 0.05
+    #: cap on the exponential backoff — without it a handful of retries
+    #: of a flaky job stalls its worker slot for seconds (0.05 → 0.1 →
+    #: 0.2 → ...).  The actual delay is *full-jitter*: uniform in
+    #: [0, min(cap, base * 2^attempt)], deterministic per job id.
+    retry_backoff_max_s: float = 1.0
     core: str = "boom-large"
     timing_only: bool = False
 
@@ -112,6 +121,15 @@ class ServiceConfig:
         if self.retry_backoff_s < 0:
             raise ValueError(
                 f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.retry_backoff_max_s < 0:
+            raise ValueError(
+                f"retry_backoff_max_s must be >= 0, got {self.retry_backoff_max_s}"
+            )
+        if self.retry_backoff_max_s < self.retry_backoff_s:
+            raise ValueError(
+                f"retry_backoff_max_s ({self.retry_backoff_max_s}) must not be "
+                f"below retry_backoff_s ({self.retry_backoff_s})"
             )
 
 
@@ -180,9 +198,12 @@ class JobService:
         config: Optional[ServiceConfig] = None,
         platform_factory: Optional[Callable[[JobSpec], object]] = None,
         clock: Callable[[], float] = time.monotonic,
+        fault_injector=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.stats = StatGroup("service")
+        self.fault_injector = fault_injector
+        self.health = HealthRegistry()
         self.admission = AdmissionController(
             max_open_jobs=self.config.max_open_jobs,
             tenant_quota=self.config.tenant_quota,
@@ -260,6 +281,7 @@ class JobService:
             return True
         # Running (or scheduled): flip the token; the worker unwinds at
         # its next evaluation and the run task settles the record.
+        record.client_cancelled = True
         record.cancel_event.set()
         return True
 
@@ -321,8 +343,8 @@ class JobService:
         loop = asyncio.get_running_loop()
         record.started_s = self._clock()
         record.state = JobState.RUNNING
-        backoff = self.config.retry_backoff_s
         error = "unknown failure"
+        backend = self.health.backend(record.spec.platform)
         for attempt in range(self.config.max_attempts):
             record.attempts = attempt + 1
             future = loop.run_in_executor(self._executor, self._execute, record)
@@ -337,17 +359,24 @@ class JobService:
                     )
                 else:
                     result = await future
+                backend.record_success()
                 self._finish(record, JobState.DONE, result=result)
                 return
             except asyncio.TimeoutError:
                 # The deadline covers all attempts of the job.  Ask the
-                # worker to unwind, wait for the slot to come back, and
-                # time the job out.
+                # worker to unwind and wait for the slot to come back.
                 record.cancel_event.set()
                 try:
                     await future
                 except Exception:
                     pass
+                if record.client_cancelled:
+                    # The client's cancel raced the deadline; their
+                    # intent wins — this job was cancelled, not slow.
+                    self._finish(
+                        record, JobState.CANCELLED, error="cancelled by client"
+                    )
+                    return
                 self.stats.counter("timeouts").increment()
                 self._finish(
                     record,
@@ -360,17 +389,38 @@ class JobService:
                 return
             except Exception as exc:  # worker failure: retry with backoff
                 error = f"{type(exc).__name__}: {exc}"
+                backend.record_failure(error)
                 if attempt + 1 < self.config.max_attempts:
                     self.stats.counter("retries").increment()
-                    if backoff > 0:
-                        await asyncio.sleep(backoff)
-                    backoff *= 2
+                    delay = self._backoff_delay(record.job_id, attempt)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
         self._finish(record, JobState.FAILED, error=error)
+
+    def _backoff_delay(self, job_id: str, attempt: int) -> float:
+        """Capped full-jitter backoff: uniform in [0, min(cap, base*2^n)].
+
+        Jitter decorrelates retries of jobs that failed together (a
+        worker crash takes a batch down at once); the cap bounds how
+        long a flaky job can stall its slot.  The draw is seeded from
+        the job id so campaigns replay the exact delays.
+        """
+        ceiling = min(
+            self.config.retry_backoff_max_s,
+            self.config.retry_backoff_s * (2.0 ** attempt),
+        )
+        if ceiling <= 0:
+            return 0.0
+        seed = int.from_bytes(
+            hashlib.blake2b(job_id.encode(), digest_size=8).digest(), "little"
+        )
+        return random.Random(seed + attempt).uniform(0.0, ceiling)
 
     def _execute(self, record: JobRecord) -> HybridResult:
         """Worker-thread body: build the platform, run the hybrid loop."""
         if record.cancel_event.is_set():
             raise JobCancelled()
+        self._maybe_inject_worker_fault(record)
         spec = record.spec
         workload = WORKLOADS[spec.workload](spec.n_qubits)
         platform = _CancellablePlatform(
@@ -386,6 +436,28 @@ class JobService:
             iterations=spec.iterations,
         )
         return runner.run(seed=spec.seed)
+
+    def _maybe_inject_worker_fault(self, record: JobRecord) -> None:
+        """Chaos hook: decide this worker slot's fate before it runs.
+
+        Keyed on (job id, attempt) so a retry of the same job draws a
+        fresh fate and the campaign replays identically no matter how
+        the event loop interleaves slots.
+        """
+        if self.fault_injector is None:
+            return
+        from repro.faults.injector import WORKER_CRASH, WORKER_HANG, WORKER_SLOW
+
+        event = self.fault_injector.worker_event(
+            "service", record.job_id, record.attempts
+        )
+        if event == WORKER_CRASH:
+            raise InjectedWorkerCrash("injected service worker crash")
+        if event == WORKER_HANG:
+            time.sleep(self.fault_injector.plan.worker.hang_s)
+            raise InjectedWorkerHang("injected service worker hang")
+        if event == WORKER_SLOW:
+            time.sleep(self.fault_injector.plan.worker.slowdown_s)
 
     def _default_platform(self, spec: JobSpec) -> EvaluationEngine:
         if spec.platform == "qtenon":
@@ -489,6 +561,7 @@ class JobService:
                 "fairness_jain": jain_index(list(served.values())),
             },
             "jobs_by_state": jobs_by_state,
+            "backends": self.health.snapshot(),
             "latency_s": {
                 "count": len(latencies),
                 "p50": _quantile(latencies, 0.50),

@@ -1,0 +1,136 @@
+"""Tests for the chaos campaign driver (repro.faults.campaign).
+
+The campaign's headline property: the same :class:`CampaignConfig`
+replays bit-identically, pinned by the digest over the deterministic
+result subtree (wall-clock lives outside it).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.resilience import campaign_digest, render_campaign
+from repro.faults.campaign import (
+    ALL_SECTIONS,
+    CampaignConfig,
+    ManualClock,
+    run_campaign,
+)
+
+CONFIG = CampaignConfig(
+    seed=0, n_qubits=4, shots=64, iterations=1, losses=(0.0, 0.05),
+    crash_p=0.5, service_jobs=4,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(CONFIG)
+
+
+class TestCampaignConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_qubits"):
+            CampaignConfig(n_qubits=0)
+        with pytest.raises(ValueError, match="not a probability"):
+            CampaignConfig(crash_p=1.5)
+        with pytest.raises(ValueError, match="loss"):
+            CampaignConfig(losses=(0.0, 2.0))
+        with pytest.raises(ValueError, match="unknown campaign sections"):
+            CampaignConfig(sections=("link", "nonsense"))
+
+    def test_as_dict_round_trips_to_json(self):
+        assert json.loads(json.dumps(CONFIG.as_dict())) == CONFIG.as_dict()
+
+
+class TestManualClock:
+    def test_advances_monotonically(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+        with pytest.raises(ValueError, match="forward"):
+            clock.advance(-1.0)
+
+
+class TestCampaignDeterminism:
+    def test_identical_configs_identical_digests(self, campaign):
+        assert run_campaign(CONFIG)["digest"] == campaign["digest"]
+
+    def test_config_change_changes_digest(self, campaign):
+        other = run_campaign(
+            CampaignConfig(
+                seed=1, n_qubits=4, shots=64, iterations=1,
+                losses=(0.0, 0.05), crash_p=0.5, service_jobs=4,
+            )
+        )
+        assert other["digest"] != campaign["digest"]
+
+    def test_wall_clock_never_enters_the_digest(self, campaign):
+        deterministic = {
+            key: value
+            for key, value in campaign.items()
+            if key not in ("digest", "wall")
+        }
+        assert campaign_digest(deterministic) == campaign["digest"]
+        assert "elapsed_s" in campaign["wall"]
+
+    def test_results_subtree_is_json_canonical(self, campaign):
+        # The digest hashes canonical JSON, so everything deterministic
+        # must survive a JSON round trip unchanged.
+        deterministic = {
+            key: value
+            for key, value in campaign.items()
+            if key not in ("digest", "wall")
+        }
+        payload = json.dumps(deterministic, sort_keys=True, default=list)
+        assert campaign_digest(json.loads(payload)) == campaign["digest"]
+
+
+class TestCampaignScenarios:
+    def test_all_sections_present(self, campaign):
+        assert set(CONFIG.sections) == set(ALL_SECTIONS)
+        for key in (
+            "link_loss_sweep", "breaker_recovery", "service_availability",
+            "readout_drift",
+        ):
+            assert key in campaign
+
+    def test_qtenon_trace_identical_under_put_faults(self, campaign):
+        for point in campaign["link_loss_sweep"]:
+            assert point["qtenon_trace_identical"] is True
+
+    def test_breaker_opens_and_recovers(self, campaign):
+        breaker = campaign["breaker_recovery"]
+        assert breaker["state_after_crash"] == "open"
+        assert breaker["final_state"] == "closed"
+        assert breaker["opens"] >= 1
+        assert breaker["probes"] >= 1
+        assert breaker["recoveries"] >= 1
+        assert breaker["injected_crashes"] == 2  # the scripted burst
+        assert breaker["values_identical"] is True
+
+    def test_service_stays_available(self, campaign):
+        service = campaign["service_availability"]
+        assert service["accepted"] == CONFIG.service_jobs
+        assert service["done"] + service["failed"] == service["accepted"]
+        # max_attempts=2 bounds the damage of crash_p=0.5 per dispatch.
+        assert service["availability"] >= 0.5
+        assert set(service["backends"]) <= {"qtenon", "baseline"}
+
+    def test_sections_subset_runs_only_those(self):
+        config = CampaignConfig(
+            seed=0, n_qubits=4, shots=32, iterations=1, sections=("breaker",)
+        )
+        results = run_campaign(config)
+        assert "breaker_recovery" in results
+        assert "link_loss_sweep" not in results
+        assert "service_availability" not in results
+
+    def test_render_mentions_every_section(self, campaign):
+        text = render_campaign(campaign)
+        assert campaign["digest"] in text
+        assert "link-loss sweep" in text
+        assert "breaker:" in text
+        assert "service:" in text
+        assert "readout drift:" in text

@@ -186,3 +186,56 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         assert "[done] tenant=alice" in out
         assert "best cost" in out
+
+
+class TestChaosCommand:
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.qubits == 4 and args.shots == 128
+        assert args.loss is None and args.sections is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["chaos", "--loss", "1.5"],
+            ["chaos", "--crash-p", "-0.1"],
+            ["chaos", "--qubits", "0"],
+            ["run", "qaoa", "--readout-p01", "1.5"],
+            ["run", "qaoa", "--readout-p10", "-0.1"],
+            ["serve", "--jobs", "x.json", "--backoff-max", "-1"],
+        ],
+    )
+    def test_chaos_and_readout_validation(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert "expected a" in capsys.readouterr().err
+
+    def test_chaos_unknown_section_is_a_clean_error(self, capsys):
+        assert main(["chaos", "--sections", "link,bogus"]) == 1
+        assert "unknown campaign sections" in capsys.readouterr().err
+
+    def test_chaos_single_section_runs_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main([
+            "chaos", "--qubits", "4", "--shots", "32", "--iterations", "1",
+            "--sections", "breaker", "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "campaign digest:" in printed
+        assert "breaker: opens=1" in printed
+        payload = json.loads(out.read_text())
+        assert payload["breaker_recovery"]["final_state"] == "closed"
+        assert payload["digest"]
+
+    def test_run_with_readout_noise_changes_energy(self, capsys):
+        base = [
+            "run", "qaoa", "--platform", "qtenon", "--qubits", "4",
+            "--shots", "64", "--iterations", "1",
+        ]
+        assert main(base) == 0
+        clean = capsys.readouterr().out
+        assert main(base + ["--readout-p01", "0.2", "--readout-p10", "0.3"]) == 0
+        noisy = capsys.readouterr().out
+        assert clean != noisy

@@ -14,7 +14,14 @@ import pytest
 from concurrent.futures.process import BrokenProcessPool
 
 from repro import EvalCache, EvaluationEngine, HybridRunner, QtenonSystem
-from repro.runtime import build_spec, circuit_structure_hash, evaluate_spec, evaluation_key
+from repro.runtime import (
+    BreakerState,
+    CircuitBreaker,
+    build_spec,
+    circuit_structure_hash,
+    evaluate_spec,
+    evaluation_key,
+)
 from repro.quantum import Parameter, QuantumCircuit
 from repro.vqa import make_optimizer
 from repro.vqa.ansatz import hardware_efficient_ansatz
@@ -234,15 +241,23 @@ class TestEngineFallbacks:
             for off in offsets
         ]
 
-    def test_broken_pool_retries_then_degrades(self, workload, monkeypatch):
+    def test_broken_pool_opens_breaker_then_recovers(self, workload):
+        """Two pool crashes open the breaker; a half-open probe after
+        the cooldown restores parallelism — all asserted through the
+        state-machine counters on a manual clock, never sleeps."""
         _, parameters, _ = workload
-        engine = _engine(workload, max_workers=2)
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_s=30.0, clock=lambda: now["s"]
+        )
+        engine = _engine(workload, max_workers=2, breaker=breaker)
 
         class ExplodingPool:
             def submit(self, fn, *args):
                 raise BrokenProcessPool("worker died")
 
-        monkeypatch.setattr(engine, "_ensure_pool", lambda: ExplodingPool())
+        healthy_ensure_pool = engine._ensure_pool
+        engine._ensure_pool = lambda: ExplodingPool()
         batch = self._bindings(parameters, [0.1, 0.2])
         values = engine.evaluate_many(batch, SHOTS)
 
@@ -251,12 +266,79 @@ class TestEngineFallbacks:
         assert engine.stats.counter("pool_restarts").value == 1
         assert engine.stats.counter("pool_failures").value == 1
         assert engine.stats.counter("serial_evaluations").value == 2
-        # Degradation is permanent: later batches go straight to serial.
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.counter("opens").value == 1
+
+        # While open, dispatches bypass the (still broken) pool.
         engine.evaluate_many(self._bindings(parameters, [0.3]), SHOTS)
         assert engine.stats.counter("pool_failures").value == 1
         assert engine.stats.counter("serial_evaluations").value == 3
+
+        # Cooldown elapses and the pool is healthy again: the next
+        # batch probes half-open, succeeds and closes the breaker.
+        engine._ensure_pool = healthy_ensure_pool
+        now["s"] += breaker.cooldown_s
+        recovered = engine.evaluate_many(batch, SHOTS)
+        assert recovered == values  # content-derived seeds: bit-identical
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.stats.counter("probes").value == 1
+        assert breaker.stats.counter("recoveries").value == 1
+        assert engine.stats.counter("parallel_evaluations").value == 2
         engine.close()
         reference.close()
+
+    def test_half_open_probe_failure_reopens(self, workload):
+        _, parameters, _ = workload
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_s=10.0, clock=lambda: now["s"]
+        )
+        engine = _engine(workload, max_workers=2, breaker=breaker)
+
+        class ExplodingPool:
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("worker died")
+
+        engine._ensure_pool = lambda: ExplodingPool()
+        batch = self._bindings(parameters, [0.1])
+        engine.evaluate_many(batch, SHOTS)
+        assert breaker.state is BreakerState.OPEN
+
+        # Still broken at probe time: the breaker re-opens right away
+        # (one failed half-open attempt, no second retry).
+        now["s"] += breaker.cooldown_s
+        engine.evaluate_many(batch, SHOTS)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.counter("probes").value == 1
+        assert breaker.stats.counter("recoveries").value == 0
+        assert breaker.stats.counter("opens").value == 2
+        engine.close()
+
+    def test_breaker_state_machine_unit(self):
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_s=5.0, clock=lambda: now["s"]
+        )
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # below threshold
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()  # success reset the count: 2 consecutive
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow() is False  # cooldown not elapsed
+        now["s"] += 5.0
+        assert breaker.allow() is True  # half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.stats.counter("recoveries").value == 1
+
+    def test_breaker_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            CircuitBreaker(cooldown_s=-1.0)
 
     def test_single_worker_never_spawns_a_pool(self, workload):
         _, parameters, _ = workload

@@ -617,3 +617,161 @@ class TestServiceAPI:
         assert spec_for(6).digest != spec.digest
         job_id = make_job_id(12, spec)
         assert job_id == f"job-000012-{spec.digest[:8]}"
+
+
+# ----------------------------------------------------------------------
+# resilience: capped-jitter backoff, backend health, fault injection
+# ----------------------------------------------------------------------
+class TestServiceResilience:
+    def test_backoff_cap_validation(self):
+        with pytest.raises(ValueError, match="retry_backoff_max_s"):
+            ServiceConfig(retry_backoff_max_s=-0.1)
+        with pytest.raises(ValueError, match="must not be below"):
+            ServiceConfig(retry_backoff_s=0.5, retry_backoff_max_s=0.1)
+
+    def test_backoff_delay_capped_jittered_deterministic(self):
+        service = JobService(
+            ServiceConfig(retry_backoff_s=0.05, retry_backoff_max_s=0.2),
+            platform_factory=fake_factory(),
+        )
+        try:
+            for attempt in range(6):
+                delay = service._backoff_delay("job-000001-deadbeef", attempt)
+                ceiling = min(0.2, 0.05 * 2.0 ** attempt)
+                assert 0.0 <= delay <= ceiling
+                # Same (job, attempt) always draws the same delay.
+                assert delay == service._backoff_delay(
+                    "job-000001-deadbeef", attempt
+                )
+            # Different jobs decorrelate (full jitter).
+            a = [service._backoff_delay("job-000001-deadbeef", n) for n in range(4)]
+            b = [service._backoff_delay("job-000002-cafebabe", n) for n in range(4)]
+            assert a != b
+        finally:
+            service.close()
+
+    def test_zero_backoff_means_no_delay(self):
+        service = JobService(
+            ServiceConfig(retry_backoff_s=0.0, retry_backoff_max_s=0.0),
+            platform_factory=fake_factory(),
+        )
+        try:
+            assert service._backoff_delay("job-000001-deadbeef", 3) == 0.0
+        finally:
+            service.close()
+
+    def test_client_cancel_during_post_deadline_drain_wins(self):
+        """A cancel that lands while the service is already unwinding a
+        deadline overrun reports ``cancelled``, not ``timed_out`` —
+        the client's intent decides the terminal state."""
+        release = threading.Event()
+        started = threading.Event()
+
+        class BlockingPlatform(FakePlatform):
+            def evaluate(self, values, shots):
+                started.set()
+                release.wait(timeout=5.0)
+                return -1.0
+
+        service = JobService(
+            ServiceConfig(
+                workers=1, job_timeout_s=0.05, max_attempts=1, cache_entries=0
+            ),
+            platform_factory=lambda spec: BlockingPlatform(),
+        )
+
+        async def scenario():
+            outcome = service.submit(spec_for(0), "a")
+            drain = asyncio.create_task(service.drain())
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, started.wait, 5.0)
+            # Let the deadline fire: the run task is now draining the
+            # still-blocked evaluation.
+            await asyncio.sleep(0.1)
+            assert service.cancel(outcome.job_id) is True
+            release.set()
+            await drain
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        service.close()
+        record = service.status(outcome.job_id)
+        assert record.state is JobState.CANCELLED
+        assert "cancelled by client" in record.error
+        assert service.metrics_snapshot()["service"].get("service.timeouts", 0) == 0
+
+    def test_deadline_without_cancel_still_times_out(self):
+        # The guard above must not swallow genuine timeouts.
+        slow = spec_for(0, optimizer="gd", iterations=3)
+        service = JobService(
+            ServiceConfig(
+                workers=1, job_timeout_s=0.05, max_attempts=1, cache_entries=0
+            ),
+            platform_factory=lambda spec: FakePlatform(delay_s=0.02),
+        )
+        (outcome,) = run_service(service, [("a", slow)])
+        assert service.status(outcome.job_id).state is JobState.TIMED_OUT
+
+    def test_backend_health_tracks_outcomes(self):
+        calls = {"n": 0}
+
+        def flaky_factory(spec):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first dispatch dies")
+            return FakePlatform()
+
+        service = JobService(
+            ServiceConfig(
+                workers=1, max_attempts=2, retry_backoff_s=0.0,
+                retry_backoff_max_s=0.0, cache_entries=0,
+            ),
+            platform_factory=flaky_factory,
+        )
+        (outcome,) = run_service(service, [("a", spec_for(0))])
+        assert service.status(outcome.job_id).state is JobState.DONE
+        backends = service.metrics_snapshot()["backends"]
+        health = backends["qtenon"]
+        assert health["attempts"] == 2
+        assert health["failures"] == 1
+        assert health["successes"] == 1
+        assert health["failure_rate"] == pytest.approx(0.5)
+        assert health["healthy"] is True
+        assert "first dispatch dies" in health["last_error"]
+
+    def test_unhealthy_after_consecutive_failures(self):
+        def broken_factory(spec):
+            raise RuntimeError("platform pool is on fire")
+
+        service = JobService(
+            ServiceConfig(
+                workers=1, max_attempts=3, retry_backoff_s=0.0,
+                retry_backoff_max_s=0.0, cache_entries=0,
+            ),
+            platform_factory=broken_factory,
+        )
+        (outcome,) = run_service(service, [("a", spec_for(0))])
+        assert service.status(outcome.job_id).state is JobState.FAILED
+        health = service.metrics_snapshot()["backends"]["qtenon"]
+        assert health["consecutive_failures"] == 3
+        assert health["healthy"] is False
+
+    def test_injected_worker_crash_recovered_by_retry(self):
+        from repro.faults import FaultInjector, FaultPlan, WorkerFaults
+
+        injector = FaultInjector(
+            FaultPlan(seed=0, worker=WorkerFaults(crash_burst=1))
+        )
+        service = JobService(
+            ServiceConfig(
+                workers=1, max_attempts=2, retry_backoff_s=0.0,
+                retry_backoff_max_s=0.0, cache_entries=0,
+            ),
+            platform_factory=fake_factory(),
+            fault_injector=injector,
+        )
+        (outcome,) = run_service(service, [("a", spec_for(0))])
+        record = service.status(outcome.job_id)
+        assert record.state is JobState.DONE
+        assert record.attempts == 2  # crash absorbed by one retry
+        assert injector.stats.counter("worker_crashes").value == 1
