@@ -37,6 +37,7 @@ from repro.quantum import (
 )
 from repro.runtime import CircuitBreaker, EvalCache, EvaluationEngine
 from repro.service import JobService, JobSpec, ServiceAPI, ServiceConfig
+from repro.telemetry import EventLog, MetricsRegistry, StepClock, Tracer
 from repro.vqa import (
     HybridResult,
     HybridRunner,
@@ -72,6 +73,10 @@ __all__ = [
     "JobSpec",
     "ServiceAPI",
     "ServiceConfig",
+    "MetricsRegistry",
+    "EventLog",
+    "StepClock",
+    "Tracer",
     "qaoa_workload",
     "vqe_workload",
     "qnn_workload",

@@ -75,9 +75,25 @@ class TraceRecorder:
         return any(b.start_ps < a.end_ps for a, b in zip(spans, spans[1:]))
 
     # ------------------------------------------------------------------
+    def track_ids(self) -> Dict[str, int]:
+        """Thread id per track: builtins pinned to 1–4, any custom track
+        allocated 5+ in first-appearance order.
+
+        Custom tracks used to collapse onto a shared tid 99 with no
+        ``thread_name`` metadata, so in the viewer their spans all piled
+        onto one anonymous row; now every track gets its own named row.
+        """
+        tids = {track: i + 1 for i, track in enumerate(self.TRACKS)}
+        next_tid = len(self.TRACKS) + 1
+        for span in self.spans:
+            if span.track not in tids:
+                tids[span.track] = next_tid
+                next_tid += 1
+        return tids
+
     def to_chrome_trace(self) -> str:
         """Chrome trace-event JSON ('X' complete events, µs timestamps)."""
-        tids = {track: i + 1 for i, track in enumerate(self.TRACKS)}
+        tids = self.track_ids()
         events = [
             {
                 "name": "process_name",
@@ -86,7 +102,7 @@ class TraceRecorder:
                 "args": {"name": self.process_name},
             }
         ]
-        for track, tid in tids.items():
+        for track, tid in sorted(tids.items(), key=lambda item: item[1]):
             events.append(
                 {
                     "name": "thread_name",
@@ -103,7 +119,7 @@ class TraceRecorder:
                     "cat": span.track,
                     "ph": "X",
                     "pid": 1,
-                    "tid": tids.get(span.track, 99),
+                    "tid": tids[span.track],
                     "ts": span.start_ps / 1e6,   # ps -> us
                     "dur": span.duration_ps / 1e6,
                 }

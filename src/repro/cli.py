@@ -8,13 +8,17 @@ without writing code::
     python -m repro run vqe --qubits 64 --timing-only --compare
     python -m repro submit qaoa --qubits 5 --tenant alice --jobs-file jobs.json
     python -m repro serve --jobs jobs.json --workers 4 --cache-size 4096
+    python -m repro telemetry --prom out.txt --trace trace.json
     python -m repro chaos --loss 0.05 --crash-p 0.3 --out campaign.json
     python -m repro info
 
 ``submit`` composes (or immediately runs) service job requests;
 ``serve`` drives the multi-tenant job service over a request file and
-prints per-job outcomes plus the JSON metrics snapshot; ``chaos`` runs
-a deterministic fault-injection campaign (see repro.faults).
+prints per-job outcomes plus the JSON metrics snapshot; ``telemetry``
+runs a deterministic seeded workload and exports the unified telemetry
+(Prometheus text / merged Chrome trace / JSONL events — see
+repro.telemetry); ``chaos`` runs a deterministic fault-injection
+campaign (see repro.faults).
 """
 
 from __future__ import annotations
@@ -225,6 +229,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None,
         help="write the per-tenant Chrome trace timeline to this path",
     )
+    serve.add_argument(
+        "--prom-out", default=None,
+        help="write the Prometheus text exposition to this path",
+    )
+    serve.add_argument(
+        "--merged-trace-out", default=None,
+        help="write the merged service + per-job sim Chrome trace to this "
+             "path (implies per-job sim tracing)",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="run a deterministic seeded service workload and export "
+             "telemetry (Prometheus / merged trace / JSONL events)",
+    )
+    telemetry.add_argument("--jobs", type=_positive_int, default=6)
+    telemetry.add_argument("--qubits", type=_positive_int, default=4)
+    telemetry.add_argument("--shots", type=_positive_int, default=128)
+    telemetry.add_argument("--iterations", type=_positive_int, default=1)
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument(
+        "--sample-every", type=_positive_int, default=1,
+        help="keep every Nth structured event (deterministic sampling)",
+    )
+    telemetry.add_argument(
+        "--prom", default=None,
+        help="write the Prometheus text exposition to this path",
+    )
+    telemetry.add_argument(
+        "--trace", default=None,
+        help="write the merged Chrome/Perfetto trace to this path",
+    )
+    telemetry.add_argument(
+        "--events", default=None,
+        help="write the JSONL structured event log to this path",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -433,8 +473,14 @@ def cmd_serve(args) -> int:
         retry_backoff_max_s=max(args.backoff, args.backoff_max),
         core=args.core,
         timing_only=args.timing_only,
+        sim_trace=args.merged_trace_out is not None,
     )
-    api = ServiceAPI(config)
+    telemetry = None
+    if args.prom_out is not None:
+        from repro.telemetry import MetricsRegistry
+
+        telemetry = MetricsRegistry()
+    api = ServiceAPI(config, telemetry=telemetry)
     batch = api.run_batch(submissions)
 
     for (tenant, _spec), outcome in zip(submissions, batch.outcomes):
@@ -479,6 +525,77 @@ def cmd_serve(args) -> int:
     if args.trace_out:
         api.export_trace(args.trace_out)
         print(f"trace -> {args.trace_out}")
+    if args.prom_out:
+        api.export_prometheus(args.prom_out)
+        print(f"prometheus -> {args.prom_out}")
+    if args.merged_trace_out:
+        api.export_merged_trace(args.merged_trace_out)
+        print(f"merged trace -> {args.merged_trace_out}")
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    """Deterministic telemetry demo/smoke: seeded workload, exports.
+
+    Uses one worker and a step clock so two runs with the same flags
+    produce byte-identical Prometheus text, merged trace and event log
+    — the property the CI smoke job and the determinism tests pin.
+    """
+    from repro.service.service import JobService
+    from repro.telemetry import (
+        EventLog,
+        MetricsRegistry,
+        StepClock,
+        parse_prometheus_text,
+        to_prometheus_text,
+    )
+
+    registry = MetricsRegistry()
+    events = EventLog(sample_every=args.sample_every)
+    config = ServiceConfig(workers=1, sim_trace=True)
+    service = JobService(
+        config, clock=StepClock(), telemetry=registry, events=events
+    )
+    api = ServiceAPI(service=service)
+    submissions = []
+    for index in range(args.jobs):
+        spec = JobSpec(
+            workload="qaoa",
+            n_qubits=args.qubits,
+            optimizer="spsa",
+            shots=args.shots,
+            iterations=args.iterations,
+            # Pairs share a seed so the coalescer and the shared cache
+            # both light up in the exported metrics.
+            seed=args.seed + index // 2,
+        )
+        submissions.append((f"tenant{index % 2}", spec))
+    batch = api.run_batch(submissions)
+
+    text = to_prometheus_text(registry)
+    families = parse_prometheus_text(text)  # self-check the exposition
+    print(
+        f"{batch.accepted} accepted / {batch.rejected} rejected; "
+        f"{len(families)} metric families; {events.sampled}/{events.seen} "
+        "events kept"
+    )
+    quantiles = service.telemetry.histogram(
+        "service.job.latency_s"
+    ).percentiles()
+    print(
+        "latency p50 {p50:.3f}s p95 {p95:.3f}s p99 {p99:.3f}s "
+        "(step-clock time)".format(**quantiles)
+    )
+    if args.prom:
+        with open(args.prom, "w") as handle:
+            handle.write(text)
+        print(f"prometheus -> {args.prom}")
+    if args.trace:
+        api.export_merged_trace(args.trace)
+        print(f"merged trace -> {args.trace}")
+    if args.events:
+        api.export_events(args.events)
+        print(f"events -> {args.events}")
     return 0
 
 
@@ -547,6 +664,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_submit(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "telemetry":
+        return cmd_telemetry(args)
     if args.command == "chaos":
         return cmd_chaos(args)
     return cmd_info(args)

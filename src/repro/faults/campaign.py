@@ -263,7 +263,11 @@ def _breaker_recovery(config: CampaignConfig) -> Dict[str, object]:
 
 
 def _service_availability(config: CampaignConfig) -> Dict[str, object]:
+    from repro.telemetry.export import parse_prometheus_text, to_prometheus_text
+    from repro.telemetry.metrics import MetricsRegistry
+
     plan = FaultPlan(seed=config.seed, worker=WorkerFaults(crash_p=config.crash_p))
+    registry = MetricsRegistry()
     service = JobService(
         ServiceConfig(
             workers=2,
@@ -273,6 +277,7 @@ def _service_availability(config: CampaignConfig) -> Dict[str, object]:
             timing_only=True,
         ),
         fault_injector=FaultInjector(plan),
+        telemetry=registry,
     )
 
     async def submit_and_drain() -> List[str]:
@@ -321,6 +326,14 @@ def _service_availability(config: CampaignConfig) -> Dict[str, object]:
                 for key in ("attempts", "successes", "failures", "failure_rate")
             }
             for name, snapshot in service.health.snapshot().items()
+        },
+        # Only the metric *names* and the parser verdict: values include
+        # wall-clock latencies, which must not enter the campaign digest.
+        "telemetry": {
+            "metric_names": sorted(registry.names()),
+            "prom_valid": bool(
+                parse_prometheus_text(to_prometheus_text(registry))
+            ),
         },
     }
 

@@ -199,6 +199,12 @@ class EvaluationEngine:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.fault_injector = fault_injector
         self.stats = StatGroup("runtime")
+        #: optional repro.telemetry.tracing.Tracer; when set, every
+        #: prepare/evaluate_many batch records an "evaluation"-track
+        #: span in *sim time* (the platform's ``now`` cursor), which
+        #: later parents the sim-phase spans in the merged trace.
+        self.tracer = None
+        self._eval_index = 0
         self._spec: Optional[EvaluationSpec] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_payload: Optional[bytes] = None
@@ -209,8 +215,34 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # platform protocol
     # ------------------------------------------------------------------
+    def attach_telemetry(self, registry) -> None:
+        """Publish this engine's stats (and its breaker/cache/injector)
+        into a :class:`~repro.telemetry.metrics.MetricsRegistry`."""
+        from repro.telemetry.bridge import register_engine
+
+        register_engine(registry, self)
+
+    def _trace_span(self, name: str, start_ps, args=None) -> None:
+        """Record one sim-time evaluation span if tracing is on and the
+        platform timeline actually advanced."""
+        if self.tracer is None or start_ps is None:
+            return
+        end_ps = getattr(self.platform, "now", None)
+        if end_ps is None or end_ps <= start_ps:
+            return  # e.g. every evaluation was a cache hit
+        self.tracer.record(
+            "evaluation", name, int(start_ps), int(end_ps), args=args
+        )
+
+    def _trace_start(self):
+        if self.tracer is None:
+            return None
+        return getattr(self.platform, "now", None)
+
     def prepare(self, ansatz: QuantumCircuit, observable: PauliSum) -> None:
+        start_ps = self._trace_start()
         self.platform.prepare(ansatz, observable)
+        self._trace_span("prepare", start_ps)
         if not self._functional_platform():
             self._spec = None
             return
@@ -237,6 +269,23 @@ class EvaluationEngine:
         platform's timeline is charged in the same order, exactly as a
         serial loop over ``evaluate`` would.
         """
+        start_ps = self._trace_start()
+        out = self._evaluate_many(values_list, shots)
+        self._trace_span(
+            self._next_eval_name(),
+            start_ps,
+            args={"batch": len(values_list), "shots": shots},
+        )
+        return out
+
+    def _next_eval_name(self) -> str:
+        name = f"evaluate_many[{self._eval_index}]"
+        self._eval_index += 1
+        return name
+
+    def _evaluate_many(
+        self, values_list: Sequence[Dict[Parameter, float]], shots: int
+    ) -> List[float]:
         if self._spec is None or not self._functional_platform():
             # Timing-only sweeps and foreign platforms: plain delegation.
             self.stats.counter("delegated_evaluations").increment(len(values_list))

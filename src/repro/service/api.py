@@ -46,8 +46,12 @@ class ServiceAPI:
         self,
         config: Optional[ServiceConfig] = None,
         service: Optional[JobService] = None,
+        telemetry=None,
+        events=None,
     ) -> None:
-        self.service = service or JobService(config)
+        self.service = service or JobService(
+            config, telemetry=telemetry, events=events
+        )
 
     # -- lifecycle -----------------------------------------------------
     def submit(self, spec: JobSpec, tenant: str = "default") -> SubmitOutcome:
@@ -69,6 +73,36 @@ class ServiceAPI:
     def export_trace(self, path: str) -> None:
         """Write the per-tenant job timeline as Chrome trace JSON."""
         self.service.trace.save(path)
+
+    def export_merged_trace(self, path: str) -> None:
+        """Write the merged service + per-job sim trace (one document;
+        requires the service to run with ``sim_trace=True`` for the
+        per-job sim processes to be present)."""
+        self.service.export_merged_trace(path)
+
+    def prometheus_text(self) -> str:
+        """The attached registry's Prometheus text exposition."""
+        if self.service.telemetry is None:
+            raise RuntimeError(
+                "service has no telemetry registry; construct ServiceAPI "
+                "with telemetry=MetricsRegistry()"
+            )
+        from repro.telemetry.export import to_prometheus_text
+
+        return to_prometheus_text(self.service.telemetry)
+
+    def export_prometheus(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.prometheus_text())
+
+    def export_events(self, path: str) -> None:
+        """Write the structured JSONL event log."""
+        if self.service.events is None:
+            raise RuntimeError(
+                "service has no event log; construct ServiceAPI with "
+                "events=EventLog()"
+            )
+        self.service.events.save(path)
 
     # -- batch driver --------------------------------------------------
     def run_batch(

@@ -197,6 +197,10 @@ class JobRecord:
     #: so a cancel that lands during the post-deadline drain still
     #: reports ``cancelled`` rather than ``timed_out``.
     client_cancelled: bool = False
+    #: repro.telemetry.tracing.Tracer of the job's sim-trace (only set
+    #: when the service runs with ``sim_trace=True``); typed loosely so
+    #: the job model keeps no hard dependency on the telemetry layer.
+    trace: Optional[object] = None
 
     @property
     def latency_s(self) -> Optional[float]:

@@ -50,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.breakdown import CATEGORIES
 from repro.analysis.trace import TraceRecorder
 from repro.baseline.system import DecoupledSystem
 from repro.core.config import QtenonConfig
@@ -75,6 +76,20 @@ from repro.service.jobs import (
     make_job_id,
 )
 from repro.sim.stats import StatGroup
+from repro.telemetry.export import EventLog
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_TIME_BUCKETS_PS,
+    MetricsRegistry,
+    nearest_rank_quantile,
+)
+from repro.telemetry.tracing import (
+    TraceGroup,
+    TraceSpan,
+    Tracer,
+    make_trace_id,
+    merged_chrome_trace as render_merged_trace,
+)
 from repro.vqa import make_optimizer, qaoa_workload, qnn_workload, vqe_workload
 from repro.vqa.runner import HybridResult, HybridRunner
 
@@ -104,6 +119,9 @@ class ServiceConfig:
     retry_backoff_max_s: float = 1.0
     core: str = "boom-large"
     timing_only: bool = False
+    #: record per-job sim traces (platform ``trace_events`` + the
+    #: engine's evaluation spans) for the merged Chrome trace export.
+    sim_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -199,6 +217,8 @@ class JobService:
         platform_factory: Optional[Callable[[JobSpec], object]] = None,
         clock: Callable[[], float] = time.monotonic,
         fault_injector=None,
+        telemetry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.stats = StatGroup("service")
@@ -228,6 +248,37 @@ class JobService:
         self._active: "set[asyncio.Task]" = set()
         self._wake: Optional[asyncio.Event] = None
 
+        # -- telemetry (optional; zero cost when absent) ----------------
+        self.telemetry = telemetry
+        self.events = events
+        self._latency_hist = None
+        self._sim_e2e_hist = None
+        self._sim_counters: Dict[str, object] = {}
+        if telemetry is not None:
+            from repro.telemetry.bridge import register_service
+
+            register_service(telemetry, self)
+            self._latency_hist = telemetry.histogram(
+                "service.job.latency_s",
+                DEFAULT_LATENCY_BUCKETS_S,
+                help="wall-clock submit-to-settle latency per job",
+            )
+            self._sim_e2e_hist = telemetry.histogram(
+                "service.job.sim_end_to_end_ps",
+                DEFAULT_TIME_BUCKETS_PS,
+                help="modelled end-to-end time per completed job",
+            )
+            # One counter per paper breakdown category (Fig. 13):
+            # service.sim.quantum_ps / pulse_gen_ps / host_compute_ps /
+            # comm_ps — accumulated modelled time across completed jobs.
+            self._sim_counters = {
+                category: telemetry.counter(
+                    f"service.sim.{category}_ps",
+                    help=f"modelled {category} time across completed jobs",
+                )
+                for category in CATEGORIES
+            }
+
     # ------------------------------------------------------------------
     # client surface (event-loop thread only)
     # ------------------------------------------------------------------
@@ -237,6 +288,10 @@ class JobService:
         rejection = self.admission.try_admit(tenant)
         if rejection is not None:
             self.stats.counter("rejected").increment()
+            if self.events is not None:
+                self.events.emit(
+                    "job_rejected", tenant=tenant, code=rejection.code
+                )
             return SubmitOutcome(rejection=rejection)
 
         self._sequence += 1
@@ -253,6 +308,13 @@ class JobService:
         else:
             self.stats.counter("coalesced").increment()
         self.stats.accumulator("queue_depth").observe(len(self.scheduler))
+        if self.events is not None:
+            self.events.emit(
+                "job_submitted",
+                job_id=record.job_id,
+                tenant=tenant,
+                coalesced=primary is not None,
+            )
         self._notify()
         return SubmitOutcome(job_id=record.job_id)
 
@@ -326,6 +388,10 @@ class JobService:
                 continue  # cancelled while queued; slot not consumed
             record.state = JobState.SCHEDULED
             self.stats.counter("dispatched").increment()
+            if self.events is not None:
+                self.events.emit(
+                    "job_dispatched", job_id=record.job_id, tenant=record.tenant
+                )
             task = asyncio.create_task(self._run_job(record))
             self._active.add(task)
             task.add_done_callback(self._task_done)
@@ -423,9 +489,17 @@ class JobService:
         self._maybe_inject_worker_fault(record)
         spec = record.spec
         workload = WORKLOADS[spec.workload](spec.n_qubits)
-        platform = _CancellablePlatform(
-            self._platform_factory(spec), record.cancel_event
-        )
+        inner = self._platform_factory(spec)
+        tracer: Optional[Tracer] = None
+        if self.config.sim_trace:
+            # One trace per job; the id is content-derived from the job
+            # id so replayed runs emit identical traces.  Retries simply
+            # replace the tracer — the surviving attempt's trace wins.
+            tracer = Tracer(make_trace_id(record.job_id))
+            record.trace = tracer
+            if isinstance(inner, EvaluationEngine):
+                inner.tracer = tracer
+        platform = _CancellablePlatform(inner, record.cancel_event)
         runner = HybridRunner(
             platform,
             workload.ansatz,
@@ -435,7 +509,17 @@ class JobService:
             shots=spec.shots,
             iterations=spec.iterations,
         )
-        return runner.run(seed=spec.seed)
+        result = runner.run(seed=spec.seed)
+        if tracer is not None:
+            # Fold the platform's sim-phase spans into the job trace,
+            # parented to the engine's evaluation spans by enclosure.
+            recorder = getattr(getattr(inner, "platform", inner), "trace", None)
+            if recorder is not None:
+                evaluation_spans = [
+                    span for span in tracer.spans if span.track == "evaluation"
+                ]
+                tracer.adopt(recorder, parents=evaluation_spans)
+        return result
 
     def _maybe_inject_worker_fault(self, record: JobRecord) -> None:
         """Chaos hook: decide this worker slot's fate before it runs.
@@ -466,6 +550,7 @@ class JobService:
                 core=core_by_name(self.config.core),
                 seed=spec.seed,
                 timing_only=self.config.timing_only,
+                trace_events=self.config.sim_trace,
                 config=QtenonConfig(
                     n_qubits=spec.n_qubits,
                     regfile_entries=max(1024, 8 * spec.n_qubits),
@@ -490,6 +575,18 @@ class JobService:
         error: Optional[str] = None,
     ) -> None:
         followers = self.coalescer.settle(record)
+        if (
+            state is JobState.DONE
+            and result is not None
+            and self.telemetry is not None
+        ):
+            # Push modelled-time metrics once per *computation* (the
+            # primary); followers share the result and must not double
+            # the sim-time totals.
+            report = result.report
+            self._sim_e2e_hist.observe(float(report.end_to_end_ps))
+            for category, counter in self._sim_counters.items():
+                counter.inc(int(report.breakdown.get(category)))
         self._settle_one(record, state, result=result, error=error)
         if state in _PROPAGATED:
             for follower in followers:
@@ -511,6 +608,16 @@ class JobService:
         self.stats.counter(f"jobs_{state.value}").increment()
         if record.latency_s is not None:
             self.stats.accumulator("latency_s").observe(record.latency_s)
+            if self._latency_hist is not None:
+                self._latency_hist.observe(record.latency_s)
+        if self.events is not None:
+            self.events.emit(
+                "job_settled",
+                job_id=record.job_id,
+                tenant=record.tenant,
+                state=state.value,
+                attempts=record.attempts,
+            )
         start = record.started_s if record.started_s is not None else record.submitted_s
         self.trace.record(
             track=record.tenant,
@@ -538,6 +645,73 @@ class JobService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def merged_trace_groups(self) -> List[TraceGroup]:
+        """The merged trace's process groups.
+
+        pid 1 is the service timeline — one row per tenant, one root
+        span per job (its wall-clock lifetime).  Each job that carried
+        a sim trace (``sim_trace=True``) follows as its own process,
+        its sim timeline offset to the job's wall-clock start, every
+        span sharing the job's trace id — so in the viewer a tenant's
+        job visibly descends into its evaluation and PGU/bus spans.
+        """
+        service_spans: List[TraceSpan] = []
+        job_groups: List[TraceGroup] = []
+        pid = 2
+        for job_id in sorted(self.records):
+            record = self.records[job_id]
+            tracer: Optional[Tracer] = record.trace
+            trace_id = (
+                tracer.trace_id if tracer is not None else make_trace_id(job_id)
+            )
+            root_id = (
+                tracer.root_span_id if tracer is not None else f"{trace_id}:0000"
+            )
+            start = (
+                record.started_s
+                if record.started_s is not None
+                else record.submitted_s
+            )
+            end = record.finished_s if record.finished_s is not None else start
+            start_ps = int((start - self._epoch) * 1e12)
+            end_ps = max(start_ps, int((end - self._epoch) * 1e12))
+            service_spans.append(
+                TraceSpan(
+                    trace_id=trace_id,
+                    span_id=root_id,
+                    parent_id=None,
+                    track=record.tenant,
+                    name=job_id,
+                    start_ps=start_ps,
+                    end_ps=end_ps,
+                    args={
+                        "state": record.state.value,
+                        "attempts": record.attempts,
+                    },
+                )
+            )
+            if tracer is not None and tracer.spans:
+                job_groups.append(
+                    TraceGroup(
+                        pid=pid,
+                        process_name=f"job {job_id}",
+                        spans=list(tracer.spans),
+                        time_offset_ps=start_ps,
+                    )
+                )
+                pid += 1
+        return [
+            TraceGroup(pid=1, process_name="repro.service", spans=service_spans)
+        ] + job_groups
+
+    def merged_chrome_trace(self) -> str:
+        """One Chrome/Perfetto JSON for the whole service run."""
+        return render_merged_trace(self.merged_trace_groups())
+
+    def export_merged_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.merged_chrome_trace())
+
     def metrics_snapshot(self) -> Dict[str, object]:
         """JSON-able service metrics (the ``metrics`` API payload)."""
         latencies = sorted(
@@ -578,8 +752,11 @@ class JobService:
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank quantile of an ascending list (0.0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, max(0, round(q * len(sorted_values)) - 1))
-    return sorted_values[index]
+    """Nearest-rank quantile of an ascending list (0.0 when empty).
+
+    Delegates to the telemetry layer's ceil-based nearest rank.  The
+    old ``round(q * n) - 1`` rank used banker's rounding, which is
+    biased low on half-ranks: p50 of five samples returned the 2nd
+    value, not the 3rd (the median).
+    """
+    return nearest_rank_quantile(sorted_values, q)

@@ -17,6 +17,8 @@ A :class:`StatGroup` namespaces them per component and renders a flat
 
 from __future__ import annotations
 
+import math
+import numbers
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
@@ -29,6 +31,15 @@ class Counter:
     value: int = 0
 
     def increment(self, by: int = 1) -> None:
+        # bool is a subclass of int, so increment(True) used to count
+        # as 1 silently — same typing trap as the kernel's Process
+        # delays; reject it along with floats and other non-integrals.
+        if isinstance(by, bool) or not isinstance(by, numbers.Integral):
+            raise TypeError(
+                f"counter {self.name!r} increment must be an integral count, "
+                f"got {by!r} ({type(by).__name__})"
+            )
+        by = int(by)
         if by < 0:
             raise ValueError("counters only move forward; use Accumulator for signed data")
         self.value += by
@@ -48,6 +59,12 @@ class Accumulator:
     maximum: Optional[float] = None
 
     def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            # One NaN poisons total/mean forever; ±inf pins min/max.
+            raise ValueError(
+                f"accumulator {self.name!r} rejects non-finite sample {value!r}"
+            )
         self.total += value
         self.count += 1
         if self.minimum is None or value < self.minimum:
@@ -147,6 +164,17 @@ class StatGroup:
             for category, duration in bucket.buckets.items():
                 out[f"{self.name}.{bucket.name}.{category}"] = duration
         return out
+
+    def publish_to(self, registry, prefix: str = "") -> None:
+        """Register this group as a pull collector on a
+        :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+        Lazy import keeps :mod:`repro.sim` free of a hard dependency on
+        the telemetry layer.
+        """
+        from repro.telemetry.bridge import register_stat_group
+
+        register_stat_group(registry, self, prefix)
 
     def reset(self) -> None:
         for counter in self._counters.values():

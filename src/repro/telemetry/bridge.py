@@ -1,0 +1,141 @@
+"""Pull-based collectors joining the old instrumentation silos to the
+registry.
+
+:class:`~repro.sim.stats.StatGroup` (and everything built on it — the
+sim components, the runtime engine/cache/breaker, the service
+scheduler/admission/coalescer, the fault injector) predates
+:mod:`repro.telemetry`.  Rather than rewrite every increment site,
+these helpers register *collectors*: zero hot-path cost, and the
+registry reads the live objects only when an export is taken.  Dotted
+names come straight from ``StatGroup.as_dict()`` (already
+``component.stat`` shaped), sanitised to the registry grammar.
+
+Identically named groups (e.g. the per-job ``runtime`` StatGroups the
+service creates) sum at collection time, which is exactly the
+aggregate a fleet-level exporter wants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from repro.telemetry.metrics import MetricsRegistry
+
+_INVALID = re.compile(r"[^a-z0-9_.]")
+
+
+def metric_key(raw: str, prefix: str = "") -> str:
+    """Sanitise an arbitrary stat name to the registry grammar."""
+    key = _INVALID.sub("_", str(raw).lower())
+    key = re.sub(r"\.+", ".", key).strip(".")
+    if prefix:
+        key = f"{prefix}.{key}"
+    if not key or not key[0].isalpha():
+        key = f"m_{key}" if key else "m_unnamed"
+    return key
+
+
+def register_stat_group(
+    registry: MetricsRegistry, group, prefix: str = ""
+) -> None:
+    """Publish a live :class:`StatGroup` into ``registry`` (pull-style)."""
+
+    def collect() -> Dict[str, float]:
+        return {
+            metric_key(name, prefix): float(value)
+            for name, value in group.as_dict().items()
+        }
+
+    registry.register_collector(collect)
+
+
+def register_eval_cache(
+    registry: MetricsRegistry, cache, prefix: str = ""
+) -> None:
+    """Publish an :class:`~repro.runtime.cache.EvalCache`: counters
+    plus the derived hit rate."""
+    register_stat_group(registry, cache.stats, prefix)
+
+    def collect() -> Dict[str, float]:
+        return {metric_key("eval_cache.hit_rate", prefix): cache.hit_rate}
+
+    registry.register_collector(collect)
+
+
+def register_engine(registry: MetricsRegistry, engine, prefix: str = "") -> None:
+    """Publish an :class:`~repro.runtime.engine.EvaluationEngine` and
+    every resilience component hanging off it."""
+    register_stat_group(registry, engine.stats, prefix)
+    register_stat_group(registry, engine.breaker.stats, prefix)
+    if engine.cache is not None:
+        register_eval_cache(registry, engine.cache, prefix)
+    if engine.fault_injector is not None:
+        register_stat_group(registry, engine.fault_injector.stats, prefix)
+
+
+def register_health(
+    registry: MetricsRegistry, health, prefix: str = "service.backend"
+) -> None:
+    """Publish a :class:`~repro.service.health.HealthRegistry` as
+    numeric gauges (``healthy`` as 0/1)."""
+
+    def collect() -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, snapshot in health.snapshot().items():
+            for key, value in snapshot.items():
+                if isinstance(value, bool):
+                    value = 1.0 if value else 0.0
+                if not isinstance(value, (int, float)):
+                    continue  # last_error and friends stay out of metrics
+                out[metric_key(f"{name}.{key}", prefix)] = float(value)
+        return out
+
+    registry.register_collector(collect)
+
+
+def register_service(
+    registry: MetricsRegistry, service, prefix: str = ""
+) -> None:
+    """Publish every silo of a :class:`~repro.service.service.JobService`."""
+    register_stat_group(registry, service.stats, prefix)
+    register_stat_group(registry, service.admission.stats, prefix)
+    register_stat_group(registry, service.coalescer.stats, prefix)
+    if service.cache is not None:
+        register_eval_cache(registry, service.cache, prefix)
+    register_health(registry, service.health, metric_key("service.backend", prefix))
+
+    def collect_scheduler() -> Dict[str, float]:
+        from repro.service.drr import jain_index
+
+        served = service.scheduler.fairness_snapshot()
+        out = {
+            metric_key("service.scheduler.backlog", prefix): float(
+                len(service.scheduler)
+            ),
+            metric_key("service.scheduler.fairness_jain", prefix): jain_index(
+                list(served.values())
+            ),
+        }
+        for tenant, cost in served.items():
+            out[metric_key(f"service.scheduler.served_cost.{tenant}", prefix)] = (
+                float(cost)
+            )
+        return out
+
+    registry.register_collector(collect_scheduler)
+
+
+def register_fault_injector(
+    registry: MetricsRegistry, injector, prefix: str = "faults"
+) -> None:
+    """Publish a :class:`~repro.faults.injector.FaultInjector`'s
+    decision counters."""
+    register_stat_group(registry, injector.stats, prefix)
+
+
+def default_registry() -> MetricsRegistry:
+    """Convenience re-export of the process-wide registry."""
+    from repro.telemetry.metrics import get_registry
+
+    return get_registry()

@@ -1,0 +1,265 @@
+"""Telemetry exporters: Prometheus text, JSONL event log.
+
+Three export surfaces, all deterministic under fixed seeds so campaign
+digests and the CI smoke gates stay replayable:
+
+* :func:`to_prometheus_text` — the standard text exposition format
+  (``# TYPE`` lines, ``_total`` counters, cumulative ``le`` histogram
+  buckets), sorted by metric name;
+* :func:`parse_prometheus_text` — a tiny validating parser used by the
+  CI smoke job to round-trip the exposition (format drift fails the
+  build, not a dashboard three weeks later);
+* :class:`EventLog` — structured JSONL events with deterministic
+  every-Nth sampling for high-volume streams.
+
+The merged Chrome-trace exporter lives in
+:mod:`repro.telemetry.tracing` next to the span model.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Prometheus metric-name grammar (no colons — we never record rules).
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def prometheus_name(dotted: str, namespace: str = "") -> str:
+    """Map a dotted registry name to a valid Prometheus metric name."""
+    flat = re.sub(r"[^a-zA-Z0-9_]", "_", dotted)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not _PROM_NAME_RE.match(flat):
+        raise ValueError(f"cannot map {dotted!r} to a Prometheus name")
+    return flat
+
+
+def _format_value(value: float) -> str:
+    """Deterministic sample rendering: ints stay ints, floats use repr."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound) if bound != int(bound) else repr(float(bound))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registry metric in the text exposition format.
+
+    Instruments and collector-sourced values are merged into one
+    name-sorted listing; a name collision between the two raises (the
+    registry's uniqueness contract).  Output is byte-deterministic for
+    a deterministic registry state.
+    """
+    namespace = registry.namespace
+    instruments = dict(registry.instruments())
+    external = registry.collect_external()
+    collision = sorted(set(instruments) & set(external))
+    if collision:
+        raise ValueError(
+            f"collector output collides with instruments: {collision}"
+        )
+
+    lines: List[str] = []
+    entries = sorted(
+        [(name, instrument) for name, instrument in instruments.items()]
+        + [(name, value) for name, value in external.items()],
+        key=lambda entry: entry[0],
+    )
+    for name, entry in entries:
+        flat = prometheus_name(name, namespace)
+        if isinstance(entry, Counter):
+            if entry.help:
+                lines.append(f"# HELP {flat}_total {entry.help}")
+            lines.append(f"# TYPE {flat}_total counter")
+            lines.append(f"{flat}_total {_format_value(entry.value)}")
+        elif isinstance(entry, Histogram):
+            if entry.help:
+                lines.append(f"# HELP {flat} {entry.help}")
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = entry.cumulative_counts()
+            for bound, count in zip(entry.bounds, cumulative):
+                lines.append(
+                    f'{flat}_bucket{{le="{_format_bound(bound)}"}} {count}'
+                )
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{flat}_sum {_format_value(entry.sum)}")
+            lines.append(f"{flat}_count {entry.count}")
+        else:
+            value = entry.value if isinstance(entry, Gauge) else entry
+            if isinstance(entry, Gauge) and entry.help:
+                lines.append(f"# HELP {flat} {entry.help}")
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        match = _LABEL_RE.match(part.strip())
+        if match is None:
+            raise ValueError(f"malformed label pair {part!r}")
+        labels[match.group("key")] = match.group("value")
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse (and validate) the text exposition format.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``.
+    Raises :class:`ValueError` on: samples without a preceding ``TYPE``,
+    sample names that don't extend their family, unparseable values,
+    non-monotonic histogram buckets, or a ``+Inf`` bucket that
+    disagrees with ``_count``.  This is the CI smoke job's round-trip
+    check — tiny on purpose, not a full client library.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    types: Dict[str, str] = {}
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {line_no}: malformed TYPE line {line!r}")
+            _, _, family, kind = parts
+            if not _PROM_NAME_RE.match(family):
+                raise ValueError(f"line {line_no}: bad family name {family!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {line_no}: unknown metric type {kind!r}")
+            if family in types:
+                raise ValueError(f"line {line_no}: duplicate TYPE for {family!r}")
+            types[family] = kind
+            families[family] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_no}: unparseable value {match.group('value')!r}"
+            ) from None
+        family = _family_of(name, types)
+        if family is None:
+            raise ValueError(f"line {line_no}: sample {name!r} has no TYPE line")
+        families[family]["samples"].append((name, labels, value))
+
+    for family, data in families.items():
+        if data["type"] == "histogram":
+            _validate_histogram(family, data["samples"])
+        if not data["samples"]:
+            raise ValueError(f"family {family!r} declared but has no samples")
+    return families
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in types:
+                return base
+            # counters are declared with the _total suffix included.
+            if sample_name in types:
+                return sample_name
+    return None
+
+
+def _validate_histogram(
+    family: str, samples: List[Tuple[str, Dict[str, str], float]]
+) -> None:
+    buckets = [(labels.get("le"), value) for name, labels, value in samples
+               if name == f"{family}_bucket"]
+    counts = [value for name, _labels, value in samples if name == f"{family}_count"]
+    if not buckets:
+        raise ValueError(f"histogram {family!r} has no buckets")
+    if buckets[-1][0] != "+Inf":
+        raise ValueError(f"histogram {family!r} last bucket must be le=\"+Inf\"")
+    previous = None
+    for le, value in buckets:
+        if le is None:
+            raise ValueError(f"histogram {family!r} bucket without le label")
+        if previous is not None and value < previous:
+            raise ValueError(
+                f"histogram {family!r} bucket counts must be non-decreasing"
+            )
+        previous = value
+    if counts and buckets[-1][1] != counts[0]:
+        raise ValueError(
+            f"histogram {family!r}: +Inf bucket {buckets[-1][1]} != "
+            f"count {counts[0]}"
+        )
+
+
+class EventLog:
+    """Structured JSONL event log with deterministic sampling.
+
+    ``sample_every=N`` keeps every Nth event (the first, the N+1st,
+    ...), counted per log — a pure function of the emission sequence,
+    never of wall-clock or randomness, so sampled logs replay exactly.
+    Every kept event carries its global sequence number, which makes
+    the sampling rate recoverable from the log itself.
+    """
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if not isinstance(sample_every, int) or isinstance(sample_every, bool):
+            raise TypeError(f"sample_every must be an int, got {sample_every!r}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self.seen = 0
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, kind: str, **fields: object) -> bool:
+        """Record an event; returns True when it survived sampling."""
+        sequence = self.seen
+        self.seen += 1
+        if sequence % self.sample_every:
+            return False
+        event: Dict[str, object] = {"seq": sequence, "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+        return True
+
+    @property
+    def sampled(self) -> int:
+        return len(self.events)
+
+    def to_jsonl(self) -> str:
+        if not self.events:
+            return ""
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.events
+        ) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())

@@ -1,0 +1,220 @@
+"""Span-based tracing with stable trace/span ids.
+
+The repo already had two disjoint timeline recorders: the platforms'
+sim-time :class:`~repro.analysis.trace.TraceRecorder` (quantum /
+controller / host / bus tracks, picoseconds) and the job service's
+wall-clock per-tenant job timeline.  Neither could answer the question
+operators actually ask: *which* service job produced *these* PGU/bus
+spans?
+
+This module threads one ``job_id → evaluation → sim phase`` chain
+through all layers:
+
+* a **trace id** is derived deterministically from the job id
+  (:func:`make_trace_id`), so replayed campaigns produce identical
+  traces;
+* a :class:`Tracer` mints sequential span ids under that trace id and
+  records :class:`TraceSpan` rows; its :attr:`Tracer.root_span_id` is
+  reserved for the job's service-level span;
+* :meth:`Tracer.adopt` folds a platform's sim-time
+  :class:`TraceRecorder` spans into the trace, parenting each sim span
+  to the narrowest enclosing evaluation span;
+* :func:`merged_chrome_trace` renders everything as one Chrome/Perfetto
+  JSON: the service timeline as pid 1 (one row per tenant) and each
+  traced job as its own process whose sim timeline is offset to the
+  job's wall-clock start, every event carrying ``trace_id`` /
+  ``span_id`` / ``parent_id`` args.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.trace import TraceRecorder
+
+#: Reserved thread ids for the platform recorder's builtin tracks.
+BUILTIN_TRACKS = TraceRecorder.TRACKS
+
+
+def make_trace_id(text: str) -> str:
+    """Deterministic 16-hex trace id from a stable identity (job id)."""
+    return hashlib.blake2b(text.encode(), digest_size=8).hexdigest()
+
+
+@dataclass
+class TraceSpan:
+    """One timed span of one trace, on one named track."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    track: str
+    name: str
+    start_ps: int
+    end_ps: int
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_ps < self.start_ps:
+            raise ValueError(
+                f"span {self.name!r} ends ({self.end_ps}) before it starts "
+                f"({self.start_ps})"
+            )
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+class Tracer:
+    """Collects the spans of one trace under deterministic span ids."""
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.spans: List[TraceSpan] = []
+        self._sequence = 0
+        #: span id reserved for the trace's root (the service job span).
+        self.root_span_id = self._next_span_id()
+
+    def _next_span_id(self) -> str:
+        span_id = f"{self.trace_id}:{self._sequence:04d}"
+        self._sequence += 1
+        return span_id
+
+    def record(
+        self,
+        track: str,
+        name: str,
+        start_ps: int,
+        end_ps: int,
+        parent_id: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Add a completed span; defaults to a child of the root span."""
+        span = TraceSpan(
+            trace_id=self.trace_id,
+            span_id=self._next_span_id(),
+            parent_id=parent_id if parent_id is not None else self.root_span_id,
+            track=track,
+            name=name,
+            start_ps=start_ps,
+            end_ps=end_ps,
+            args=dict(args or {}),
+        )
+        self.spans.append(span)
+        return span.span_id
+
+    def adopt(
+        self,
+        recorder: TraceRecorder,
+        parents: Optional[Sequence[TraceSpan]] = None,
+    ) -> int:
+        """Fold a sim :class:`TraceRecorder`'s spans into this trace.
+
+        Each recorder span is parented to the *narrowest* candidate in
+        ``parents`` whose time range encloses it (the evaluation span
+        that produced it), falling back to the root span.  Returns the
+        number of spans adopted.  Iteration order is sorted, so two
+        identical runs adopt in identical order and span ids match.
+        """
+        adopted = 0
+        for span in sorted(
+            recorder.spans, key=lambda s: (s.start_ps, s.end_ps, s.track, s.name)
+        ):
+            parent = None
+            for candidate in parents or ():
+                if candidate.start_ps <= span.start_ps and (
+                    span.end_ps <= candidate.end_ps
+                ):
+                    if parent is None or candidate.duration_ps < parent.duration_ps:
+                        parent = candidate
+            self.record(
+                span.track,
+                span.name,
+                span.start_ps,
+                span.end_ps,
+                parent_id=parent.span_id if parent is not None else None,
+            )
+            adopted += 1
+        return adopted
+
+
+@dataclass
+class TraceGroup:
+    """One Chrome-trace process: a pid, a name, and its spans.
+
+    ``time_offset_ps`` shifts every span at render time — used to align
+    a job's sim timeline (which starts at sim time 0) with the job's
+    wall-clock start in the merged view.
+    """
+
+    pid: int
+    process_name: str
+    spans: List[TraceSpan]
+    time_offset_ps: int = 0
+
+
+def _track_ids(spans: Sequence[TraceSpan]) -> Dict[str, int]:
+    """Stable tids: builtin sim tracks pinned to 1–4, every other track
+    allocated in first-appearance order — never a shared catch-all."""
+    tids = {track: i + 1 for i, track in enumerate(BUILTIN_TRACKS)}
+    next_tid = len(BUILTIN_TRACKS) + 1
+    for span in spans:
+        if span.track not in tids:
+            tids[span.track] = next_tid
+            next_tid += 1
+    return tids
+
+
+def merged_chrome_trace(groups: Sequence[TraceGroup]) -> str:
+    """Render trace groups as one Chrome trace-event JSON document."""
+    events: List[Dict[str, object]] = []
+    for group in groups:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": group.pid,
+                "args": {"name": group.process_name},
+            }
+        )
+        tids = _track_ids(group.spans)
+        present = {span.track for span in group.spans}
+        for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+            if track not in present:
+                continue
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": group.pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for span in sorted(
+            group.spans, key=lambda s: (s.start_ps, tids[s.track], s.name)
+        ):
+            args: Dict[str, object] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.args)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.track,
+                    "ph": "X",
+                    "pid": group.pid,
+                    "tid": tids[span.track],
+                    "ts": (span.start_ps + group.time_offset_ps) / 1e6,
+                    "dur": span.duration_ps / 1e6,
+                    "args": args,
+                }
+            )
+    return json.dumps({"traceEvents": events}, indent=2)

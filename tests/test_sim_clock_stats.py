@@ -60,6 +60,27 @@ class TestCounter:
         with pytest.raises(ValueError):
             Counter("x").increment(-1)
 
+    def test_rejects_bool(self):
+        # bool subclasses int: increment(True) used to count as 1.
+        counter = Counter("x")
+        with pytest.raises(TypeError):
+            counter.increment(True)
+        with pytest.raises(TypeError):
+            counter.increment(False)
+        assert counter.value == 0
+
+    def test_rejects_non_integral(self):
+        for bad in (1.5, 1.0, "2", None):
+            with pytest.raises(TypeError):
+                Counter("x").increment(bad)
+
+    def test_accepts_numpy_integers(self):
+        import numpy as np
+
+        counter = Counter("x")
+        counter.increment(np.int64(3))
+        assert counter.value == 3
+
     def test_reset(self):
         counter = Counter("x", value=3)
         counter.reset()
@@ -78,6 +99,14 @@ class TestAccumulator:
 
     def test_empty_mean_is_zero(self):
         assert Accumulator("x").mean == 0.0
+
+    def test_rejects_non_finite(self):
+        # One NaN would poison total/mean forever; inf pins min/max.
+        acc = Accumulator("x")
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                acc.observe(bad)
+        assert acc.count == 0
 
 
 class TestTimeBucket:

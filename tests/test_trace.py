@@ -52,6 +52,37 @@ class TestRecorder:
         metadata = [e for e in events if e["ph"] == "M"]
         assert any(e["args"].get("name") == "unit" for e in metadata)
 
+    def test_custom_track_gets_own_named_tid(self):
+        # Non-builtin tracks used to collapse onto a shared tid 99 with
+        # no thread_name metadata; now each gets its own labelled row.
+        recorder = TraceRecorder()
+        recorder.record("quantum", "run", 0, 10)
+        recorder.record("dma", "burst", 0, 10)
+        recorder.record("pgu7", "wave", 5, 20)
+        tids = recorder.track_ids()
+        assert tids["quantum"] == 1
+        assert tids["dma"] == 5
+        assert tids["pgu7"] == 6
+        data = json.loads(recorder.to_chrome_trace())
+        events = data["traceEvents"]
+        complete = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert complete["burst"]["tid"] != complete["wave"]["tid"]
+        assert complete["burst"]["tid"] not in (99,)
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names[complete["burst"]["tid"]] == "dma"
+        assert thread_names[complete["wave"]["tid"]] == "pgu7"
+
+    def test_custom_tid_allocation_is_first_appearance_order(self):
+        recorder = TraceRecorder()
+        recorder.record("zeta", "a", 0, 10)
+        recorder.record("alpha", "b", 0, 10)
+        assert recorder.track_ids()["zeta"] == 5
+        assert recorder.track_ids()["alpha"] == 6
+
     def test_save(self, tmp_path):
         recorder = TraceRecorder()
         recorder.record("host", "x", 0, 10)
