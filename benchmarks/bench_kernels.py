@@ -1,0 +1,252 @@
+"""Kernel-layer benchmark: vectorized gate kernels + replay cache.
+
+Measures the reproduction's own evaluation hot path — the quantity the
+``repro.quantum.kernels`` module exists to shrink.  Two engines run the
+same 12-qubit, 60-parameter VQE gradient-descent loop on the
+statevector backend:
+
+* **reference** — ``EvaluationEngine(reference=True)``: every probe
+  re-binds the group circuits and simulates through the original
+  ``tensordot`` contraction path;
+* **kernel** — the default path: circuit structures compiled once into
+  replay programs (slot-resolved parameters, fused single-qubit runs,
+  memoized fixed matrices), probes replayed through the in-place
+  bit-sliced gate kernels.
+
+The two must produce **bit-identical** energy histories (same
+content-derived sampler seeds, value-identical evaluations); the bench
+asserts that before reporting any number.  A second scenario times
+program compilation against replay to expose the §6.1-style split the
+cache exploits: structure work once, parameter work per probe.
+
+Results persist to ``BENCH_kernels.json`` at the repo root;
+``--smoke`` runs a reduced configuration and fails unless the kernel
+path is at least ``MIN_SPEEDUP``x the reference path (an absolute
+floor, portable across machines) with identical histories.
+
+Usage::
+
+    python benchmarks/bench_kernels.py            # full run, update JSON
+    python benchmarks/bench_kernels.py --smoke    # quick CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import EvaluationEngine, HybridRunner, QtenonSystem  # noqa: E402
+from repro.quantum.kernels import KERNEL_STATS, ReplayCache, compile_circuit  # noqa: E402
+from repro.vqa import make_optimizer  # noqa: E402
+from repro.vqa.ansatz import hardware_efficient_ansatz  # noqa: E402
+from repro.vqa.hamiltonians import molecular_hamiltonian  # noqa: E402
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_kernels.json"
+)
+
+#: The smoke gate's absolute floor: kernels must beat the reference
+#: tensor-contraction path by at least this factor end to end.
+MIN_SPEEDUP = 2.0
+
+FULL = dict(qubits=12, shots=1_000, iterations=3, replay_rounds=200)
+SMOKE = dict(qubits=12, shots=1_000, iterations=1, replay_rounds=50)
+
+SEED = 7
+
+
+def _workload(qubits: int):
+    """60-parameter VQE instance (12 qubits, RY/RZ layers + CZ ladder)."""
+    ansatz, parameters = hardware_efficient_ansatz(qubits, n_layers=2)
+    observable = molecular_hamiltonian(qubits, seed=0)
+    return ansatz, parameters, observable
+
+
+def _run_vqe(reference: bool, config: Dict[str, int]) -> Dict[str, object]:
+    """One GD trajectory; returns wall-clock + the energy history."""
+    ansatz, parameters, observable = _workload(config["qubits"])
+    platform = QtenonSystem(config["qubits"], seed=SEED)
+    engine = EvaluationEngine(platform, max_workers=1, seed=SEED, reference=reference)
+    runner = HybridRunner(
+        engine,
+        ansatz,
+        parameters,
+        observable,
+        make_optimizer("gd"),
+        shots=config["shots"],
+        iterations=config["iterations"],
+    )
+    start = time.perf_counter()
+    result = runner.run(seed=SEED)
+    elapsed = time.perf_counter() - start
+    engine.close()
+    evals = (2 * len(parameters) + 1) * config["iterations"]
+    return {
+        "seconds": elapsed,
+        "history": result.cost_history,
+        "evaluations": evals,
+        "ms_per_eval": 1_000.0 * elapsed / evals,
+    }
+
+
+def _run_replay(config: Dict[str, int]) -> Dict[str, float]:
+    """Structure-once vs per-probe cost, across the three regimes:
+    recompile every probe, content-addressed cache lookup per probe
+    (pays the structure hash), and direct program replay (what the
+    engine's spec does — the hash amortised over the whole run)."""
+    ansatz, parameters, _ = _workload(config["qubits"])
+    rng = np.random.default_rng(SEED)
+    vectors = [
+        rng.uniform(-0.5, 0.5, size=len(parameters))
+        for _ in range(config["replay_rounds"])
+    ]
+
+    start = time.perf_counter()
+    for vector in vectors:
+        compile_circuit(ansatz, parameters).execute(vector)
+    recompile_s = time.perf_counter() - start
+
+    cache = ReplayCache()
+    start = time.perf_counter()
+    for vector in vectors:
+        cache.get_or_compile(ansatz, parameters).execute(vector)
+    cached_s = time.perf_counter() - start
+
+    program = cache.get_or_compile(ansatz, parameters)
+    start = time.perf_counter()
+    for vector in vectors:
+        program.execute(vector)
+    replay_s = time.perf_counter() - start
+
+    return {
+        "rounds": float(config["replay_rounds"]),
+        "recompile_s": recompile_s,
+        "cached_s": cached_s,
+        "replay_s": replay_s,
+        "cached_speedup": recompile_s / cached_s if cached_s else float("inf"),
+        "replay_speedup": recompile_s / replay_s if replay_s else float("inf"),
+        "cache_hit_rate": cache.stats.as_dict()["replay_cache.hits"]
+        / (config["replay_rounds"] + 1),
+        "source_gates": float(program.source_gates),
+        "program_nodes": float(program.n_nodes),
+    }
+
+
+def run_bench(config: Dict[str, int]) -> Dict[str, object]:
+    before = KERNEL_STATS.as_dict()
+    kernel = _run_vqe(False, config)
+    after = KERNEL_STATS.as_dict()
+    reference = _run_vqe(True, config)
+
+    if kernel["history"] != reference["history"]:
+        raise AssertionError(
+            "kernel and reference energy histories diverge:\n"
+            f"  kernel    {kernel['history']}\n"
+            f"  reference {reference['history']}"
+        )
+
+    counters = {
+        key.split(".", 1)[1]: after[key] - before.get(key, 0)
+        for key in after
+    }
+    return {
+        "config": {**config, "params": 60, "cpu_count": os.cpu_count()},
+        "vqe": {
+            "reference_s": reference["seconds"],
+            "kernel_s": kernel["seconds"],
+            "speedup": reference["seconds"] / kernel["seconds"],
+            "reference_ms_per_eval": reference["ms_per_eval"],
+            "kernel_ms_per_eval": kernel["ms_per_eval"],
+            "evaluations": kernel["evaluations"],
+            "identical_histories": True,
+        },
+        "kernel_counters": counters,
+        "replay": _run_replay(config),
+    }
+
+
+def _print_report(mode: str, result: Dict[str, object]) -> None:
+    vqe = result["vqe"]
+    replay = result["replay"]
+    counters = result["kernel_counters"]
+    config = result["config"]
+    print(
+        f"[bench_kernels/{mode}] {config['qubits']}-qubit, "
+        f"{config['params']}-param GD VQE, statevector backend"
+    )
+    print(
+        f"  reference {vqe['reference_s']:.2f}s "
+        f"({vqe['reference_ms_per_eval']:.2f} ms/eval) | "
+        f"kernel {vqe['kernel_s']:.2f}s "
+        f"({vqe['kernel_ms_per_eval']:.2f} ms/eval) | "
+        f"{vqe['speedup']:.2f}x over {vqe['evaluations']} evaluations"
+    )
+    applied = counters.get("gates_applied", 0)
+    fused = counters.get("gates_fused", 0)
+    print(
+        f"  kernel counters: {applied:.0f} applies "
+        f"({fused:.0f} gates fused away, "
+        f"{counters.get('diag_fast_applies', 0):.0f} diagonal fast-path), "
+        f"{counters.get('replays', 0):.0f} replays / "
+        f"{counters.get('programs_compiled', 0):.0f} compiles"
+    )
+    print(
+        f"  per-probe vs recompile-every-probe: replay "
+        f"{replay['replay_speedup']:.2f}x, content-addressed cache "
+        f"{replay['cached_speedup']:.2f}x over {replay['rounds']:.0f} "
+        f"rounds ({replay['source_gates']:.0f} gates -> "
+        f"{replay['program_nodes']:.0f} program nodes)"
+    )
+    print(
+        f"  energy histories bit-identical to reference: "
+        f"{vqe['identical_histories']}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"reduced configuration; fail below {MIN_SPEEDUP}x speedup",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    result = run_bench(SMOKE if args.smoke else FULL)
+    _print_report(mode, result)
+
+    if args.smoke:
+        speedup = result["vqe"]["speedup"]
+        if speedup < MIN_SPEEDUP:
+            print(
+                f"kernel gate FAILED: {speedup:.2f}x < {MIN_SPEEDUP}x "
+                "required over the reference path"
+            )
+            return 1
+        print(f"kernel gate passed ({speedup:.2f}x >= {MIN_SPEEDUP}x)")
+        return 0
+
+    recorded: Dict[str, object] = {}
+    if os.path.exists(RESULT_PATH):
+        with open(RESULT_PATH) as handle:
+            recorded = json.load(handle)
+    recorded[mode] = result
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(recorded, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"recorded -> {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

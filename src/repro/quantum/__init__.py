@@ -18,6 +18,13 @@ from repro.quantum.gates import (
     GateSpec,
     gate_spec,
 )
+from repro.quantum.kernels import (
+    KERNEL_STATS,
+    PROGRAM_CACHE,
+    CompiledProgram,
+    ReplayCache,
+    compile_circuit,
+)
 from repro.quantum.noise import ReadoutNoise, mitigate_single_qubit_expectation
 from repro.quantum.parameters import Parameter, ParameterExpression
 from repro.quantum.pauli import MeasurementGroup, PauliString, PauliSum
@@ -40,6 +47,11 @@ __all__ = [
     "MEASUREMENT_NS",
     "Statevector",
     "StatevectorBackend",
+    "CompiledProgram",
+    "compile_circuit",
+    "ReplayCache",
+    "PROGRAM_CACHE",
+    "KERNEL_STATS",
     "ProductState",
     "ProductStateBackend",
     "Sampler",

@@ -54,6 +54,15 @@ def _fixed(matrix: Sequence[Sequence[complex]]) -> Callable[..., np.ndarray]:
     return factory
 
 
+#: Module-level memo of parameterless gate matrices, keyed by gate
+#: name.  Fixed gates like H/CX are applied millions of times per
+#: optimisation campaign; returning one shared read-only ndarray stops
+#: every application from paying a factory call (and the read-only flag
+#: turns accidental in-place mutation of a shared matrix into an error
+#: instead of silent corruption of every later application).
+_FIXED_MATRIX_CACHE: Dict[str, np.ndarray] = {}
+
+
 @dataclass(frozen=True)
 class GateSpec:
     """Static description of one gate kind."""
@@ -70,6 +79,13 @@ class GateSpec:
             raise ValueError(
                 f"{self.name} takes {self.n_params} parameter(s), got {len(params)}"
             )
+        if self.n_params == 0:
+            cached = _FIXED_MATRIX_CACHE.get(self.name)
+            if cached is None:
+                cached = np.ascontiguousarray(self.matrix_factory(), dtype=complex)
+                cached.setflags(write=False)
+                _FIXED_MATRIX_CACHE[self.name] = cached
+            return cached
         return self.matrix_factory(*params)
 
     @property

@@ -64,6 +64,16 @@ class ProductState:
         return 1.0 - 2.0 * self.probability_one(qubit)
 
     def apply_single(self, matrix: np.ndarray, qubit: int) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.shape != (2, 2):
+            raise ValueError(
+                f"apply_single needs a 2x2 matrix, got shape {matrix.shape}"
+            )
+        if not np.isfinite(matrix).all():
+            raise ValueError(
+                "apply_single got a non-finite matrix (NaN/inf); refusing to "
+                "propagate it into the sampled state"
+            )
         self.amplitudes[qubit] = matrix @ self.amplitudes[qubit]
         # Renormalise to bury fp drift over deep circuits.
         norm = np.linalg.norm(self.amplitudes[qubit])

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.kernels import CompiledProgram
 from repro.quantum.noise import ReadoutNoise
 from repro.quantum.pauli import MeasurementGroup, PauliSum
 from repro.quantum.product_state import ProductStateBackend
@@ -59,12 +60,14 @@ class Sampler:
         exact_limit: int = DEFAULT_EXACT_LIMIT,
         force_backend: Optional[str] = None,
         readout_noise: Optional["ReadoutNoise"] = None,
+        reference: bool = False,
     ) -> None:
         self.rng = np.random.default_rng(seed)
         self.exact_limit = exact_limit
         self.force_backend = force_backend
         self.readout_noise = readout_noise
-        self._exact = StatevectorBackend()
+        self.reference = reference
+        self._exact = StatevectorBackend(reference=reference)
         self._product = ProductStateBackend()
         self._stub = StubBackend()
         self.executions = 0
@@ -97,6 +100,36 @@ class Sampler:
             shots=shots,
             n_qubits=circuit.n_qubits,
             backend_name=backend.name,
+        )
+
+    def run_program(
+        self,
+        program: "CompiledProgram",
+        vector: Optional[np.ndarray],
+        shots: int,
+    ) -> SampleResult:
+        """Replay a compiled statevector program at ``vector`` and sample.
+
+        The fast-path twin of :meth:`run` for the evaluation runtime:
+        identical RNG consumption order (shot draw, then readout
+        corruption), so histories match the circuit path draw for draw.
+        """
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        state = program.execute(vector)
+        measured = program.measured_qubits() or list(range(program.n_qubits))
+        counts = state.sample_counts(shots, self.rng, qubits=measured)
+        if self.readout_noise is not None and not self.readout_noise.is_ideal:
+            counts = self.readout_noise.apply_to_counts(
+                counts, len(set(measured)), self.rng
+            )
+        self.executions += 1
+        self.total_shots += shots
+        return SampleResult(
+            counts=counts,
+            shots=shots,
+            n_qubits=program.n_qubits,
+            backend_name=self._exact.name,
         )
 
     # ------------------------------------------------------------------

@@ -3,8 +3,11 @@
 Dense ``2^n`` simulation used for functional validation at small qubit
 counts (the paper obtained its quantum I/O from Qiskit's simulator; we
 implement the equivalent ourselves since no quantum SDK is available
-offline).  Gates are applied by reshaping the state into a rank-``n``
-tensor and contracting the gate matrix over the target axes.
+offline).  Gates are applied by the in-place bit-sliced kernels of
+:mod:`repro.quantum.kernels` (single-qubit fusion included when a whole
+circuit runs); the original tensor-contraction implementation is kept
+as the ``reference=True`` escape hatch and is what the kernel path is
+property-tested against.
 
 Bit convention: qubit 0 is the least significant bit of a basis index,
 so basis state ``|q_{n-1} ... q_1 q_0>`` has index ``sum q_i << i``.
@@ -29,8 +32,11 @@ class StatevectorBackend:
     name = "statevector"
     exact = True
 
-    def __init__(self, max_qubits: int = MAX_EXACT_QUBITS) -> None:
+    def __init__(
+        self, max_qubits: int = MAX_EXACT_QUBITS, reference: bool = False
+    ) -> None:
         self.max_qubits = max_qubits
+        self.reference = reference
 
     # ------------------------------------------------------------------
     def run(self, circuit: QuantumCircuit) -> "Statevector":
@@ -44,11 +50,17 @@ class StatevectorBackend:
                 f"{circuit.n_qubits} qubits exceeds exact-backend limit "
                 f"{self.max_qubits}; use ProductStateBackend"
             )
+        if not self.reference:
+            # Bound circuits compile to all-fixed programs: one pass of
+            # in-place bit-sliced applies with adjacent 1q gates fused.
+            from repro.quantum.kernels import compile_circuit
+
+            return compile_circuit(circuit).execute()
         state = Statevector.zero_state(circuit.n_qubits)
         for op in circuit.operations:
             if op.is_measurement:
                 continue  # terminal measurement; sampling reads probabilities
-            state.apply(op)
+            state.apply(op, reference=True)
         return state
 
     def sample(
@@ -64,7 +76,14 @@ class StatevectorBackend:
 
 
 class Statevector:
-    """A dense quantum state with in-place gate application."""
+    """A dense quantum state with in-place gate application.
+
+    ``probabilities()`` is cached behind a dirty flag: gate application
+    and amplitude reassignment invalidate it, so repeated sampling or
+    marginal queries on an unchanged state stop recomputing
+    ``|amplitudes|^2``.  The cached array is read-only; copy it before
+    mutating.
+    """
 
     def __init__(self, amplitudes: np.ndarray, n_qubits: int) -> None:
         expected = 1 << n_qubits
@@ -73,7 +92,18 @@ class Statevector:
                 f"amplitude vector has shape {amplitudes.shape}, expected ({expected},)"
             )
         self.n_qubits = n_qubits
-        self.amplitudes = amplitudes.astype(complex, copy=False)
+        self._amplitudes = amplitudes.astype(complex, copy=False)
+        self._probs_cache: Optional[np.ndarray] = None
+        self._scratch: Optional[np.ndarray] = None
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        return self._amplitudes
+
+    @amplitudes.setter
+    def amplitudes(self, value: np.ndarray) -> None:
+        self._amplitudes = value.astype(complex, copy=False)
+        self._probs_cache = None
 
     @classmethod
     def zero_state(cls, n_qubits: int) -> "Statevector":
@@ -84,17 +114,27 @@ class Statevector:
     # ------------------------------------------------------------------
     # gate application
     # ------------------------------------------------------------------
-    def apply(self, op: Operation) -> None:
+    def apply(self, op: Operation, reference: bool = False) -> None:
         matrix = op.spec.matrix(*(float(p) for p in op.params))
-        if op.spec.n_qubits == 1:
-            self._apply_matrix(matrix, op.qubits)
-        elif op.spec.n_qubits == 2:
-            self._apply_matrix(matrix, op.qubits)
-        else:  # pragma: no cover - no >2q gates in the library
+        if op.spec.n_qubits not in (1, 2):  # pragma: no cover - no >2q gates
             raise NotImplementedError(f"{op.spec.n_qubits}-qubit gates")
+        if reference:
+            self._apply_matrix(matrix, op.qubits)
+            return
+        from repro.quantum.kernels import apply_1q, apply_2q, scratch_size
+
+        self._probs_cache = None
+        if self._scratch is None:
+            self._scratch = np.empty(scratch_size(self.n_qubits), dtype=complex)
+        if op.spec.n_qubits == 1:
+            apply_1q(self._amplitudes, matrix, op.qubits[0], self._scratch)
+        else:
+            apply_2q(
+                self._amplitudes, matrix, op.qubits[0], op.qubits[1], self._scratch
+            )
 
     def _apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
-        """Contract ``matrix`` over the axes corresponding to ``qubits``.
+        """Reference path: contract ``matrix`` over the axes of ``qubits``.
 
         The state is viewed as a tensor with axis 0 = qubit ``n-1`` ...
         axis ``n-1`` = qubit 0 (C-order reshape of the little-endian
@@ -104,7 +144,7 @@ class Statevector:
         n = self.n_qubits
         k = len(qubits)
         axes = [n - 1 - q for q in qubits]
-        tensor = self.amplitudes.reshape((2,) * n)
+        tensor = self._amplitudes.reshape((2,) * n)
         gate = matrix.reshape((2,) * (2 * k))
         # tensordot contracts gate's *input* axes (last k) with the state.
         moved = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
@@ -116,13 +156,18 @@ class Statevector:
     # inspection & sampling
     # ------------------------------------------------------------------
     def probabilities(self) -> np.ndarray:
-        return np.abs(self.amplitudes) ** 2
+        """``|amplitudes|^2`` (cached, read-only; copy before mutating)."""
+        if self._probs_cache is None:
+            probs = np.abs(self._amplitudes) ** 2
+            probs.setflags(write=False)
+            self._probs_cache = probs
+        return self._probs_cache
 
     def norm(self) -> float:
         return float(np.sqrt(np.sum(self.probabilities())))
 
     def probability_of(self, basis_index: int) -> float:
-        return float(abs(self.amplitudes[basis_index]) ** 2)
+        return float(abs(self._amplitudes[basis_index]) ** 2)
 
     def marginal_probability_one(self, qubit: int) -> float:
         """P(qubit == 1)."""
@@ -152,18 +197,23 @@ class Statevector:
             rng.choice(probs.size, size=shots, p=probs), dtype=np.int64
         )
         subset = sorted(set(qubits)) if qubits is not None else list(range(self.n_qubits))
-        # Pack the subset bits of every outcome at once: bit i of the
-        # key is the i-th (sorted) measured qubit.  Vectorised over
-        # shots — the per-shot/per-qubit Python loop dominated sampling
-        # time at high shot counts.
-        keys = np.zeros(shots, dtype=np.int64)
-        for position, qubit in enumerate(subset):
-            keys |= ((outcomes >> np.int64(qubit)) & 1) << np.int64(position)
+        if subset == list(range(self.n_qubits)):
+            # All qubits measured in order: the bit packing below is the
+            # identity, so the basis indices are the keys.
+            keys = outcomes
+        else:
+            # Pack the subset bits of every outcome at once: bit i of
+            # the key is the i-th (sorted) measured qubit.  Vectorised
+            # over shots — the per-shot/per-qubit Python loop dominated
+            # sampling time at high shot counts.
+            keys = np.zeros(shots, dtype=np.int64)
+            for position, qubit in enumerate(subset):
+                keys |= ((outcomes >> np.int64(qubit)) & 1) << np.int64(position)
         unique, multiplicity = np.unique(keys, return_counts=True)
-        return {int(key): int(count) for key, count in zip(unique, multiplicity)}
+        return dict(zip(unique.tolist(), multiplicity.tolist()))
 
     def inner(self, other: "Statevector") -> complex:
-        return complex(np.vdot(self.amplitudes, other.amplitudes))
+        return complex(np.vdot(self._amplitudes, other._amplitudes))
 
     def copy(self) -> "Statevector":
-        return Statevector(self.amplitudes.copy(), self.n_qubits)
+        return Statevector(self._amplitudes.copy(), self.n_qubits)

@@ -57,6 +57,7 @@ from repro.analysis.breakdown import ExecutionReport
 from repro.compiler.transpile import transpile
 from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerHang
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.kernels import CompiledProgram, compile_circuit
 from repro.quantum.noise import ReadoutNoise
 from repro.quantum.parameters import Parameter
 from repro.quantum.pauli import MeasurementGroup, PauliSum
@@ -78,7 +79,11 @@ class EvaluationSpec:
     Pickled *once* per worker (pool initializer), so the shared
     :class:`Parameter` identities between ``parameters`` and the group
     circuits survive the trip — vectors then cross the process boundary
-    as plain float arrays.
+    as plain float arrays.  The ``programs`` list (statevector backend
+    only) carries one compiled replay program per measurement group;
+    workers re-execute those programs for every probe instead of
+    re-binding and re-traversing the group circuits — the classical
+    mirror of the paper's §6.1 parameter-only update path.
     """
 
     parameters: List[Parameter]
@@ -90,6 +95,8 @@ class EvaluationSpec:
     readout_noise: Optional[ReadoutNoise]
     structure_hash: str
     backend_id: str
+    programs: Optional[List[CompiledProgram]] = None
+    reference: bool = False
 
 
 def build_spec(
@@ -99,12 +106,16 @@ def build_spec(
     exact_limit: int = DEFAULT_EXACT_LIMIT,
     force_backend: Optional[str] = None,
     readout_noise: Optional[ReadoutNoise] = None,
+    reference: bool = False,
 ) -> EvaluationSpec:
     """Build the picklable functional-evaluation spec for a workload.
 
     Mirrors the platforms' preparation: one transpiled
     ansatz + basis-change + measure-all circuit per qubit-wise-commuting
-    measurement group.
+    measurement group.  ``reference=True`` disables the vectorized
+    kernels and the compiled replay programs — every evaluation then
+    re-binds and re-simulates through the original tensor-contraction
+    path (the escape hatch the kernel tests compare against).
     """
     order = list(parameters) if parameters is not None else ansatz.parameters
     groups = observable.grouped_qubitwise() or [MeasurementGroup()]
@@ -124,6 +135,14 @@ def build_spec(
     if readout_noise is not None and not readout_noise.is_ideal:
         backend += f"+readout({readout_noise.p01:g},{readout_noise.p10:g})"
 
+    # Reference mode deliberately shares the backend id (and thus cache
+    # keys and derived sampler seeds) with the kernel path: the two are
+    # asserted value-identical, and seed parity is what lets the bench
+    # compare their energy histories bit for bit.
+    programs: Optional[List[CompiledProgram]] = None
+    if not reference and backend.startswith("statevector"):
+        programs = [compile_circuit(circuit, order) for circuit in group_circuits]
+
     return EvaluationSpec(
         parameters=order,
         groups=groups,
@@ -134,6 +153,8 @@ def build_spec(
         readout_noise=readout_noise,
         structure_hash=circuit_structure_hash(ansatz, order),
         backend_id=backend,
+        programs=programs,
+        reference=reference,
     )
 
 
@@ -143,16 +164,26 @@ def evaluate_spec(
     """Pure functional evaluation: bind, sample, estimate ⟨observable⟩.
 
     Shared verbatim by the serial path and the pool workers, which is
-    what makes the two bit-identical.
+    what makes the two bit-identical.  When the spec carries compiled
+    replay programs, each probe re-executes them with the fresh vector
+    (no circuit traversal); otherwise every evaluation re-binds the
+    group circuits and runs the sampler's circuit path.
     """
-    values = {p: float(v) for p, v in zip(spec.parameters, vector)}
     sampler = Sampler(
         seed=seed,
         exact_limit=spec.exact_limit,
         force_backend=spec.force_backend,
         readout_noise=spec.readout_noise,
+        reference=spec.reference,
     )
     value = spec.constant
+    if spec.programs is not None:
+        for group, program in zip(spec.groups, spec.programs):
+            result = sampler.run_program(program, vector, shots)
+            if group.members:
+                value += group.expectation_from_counts(result.counts)
+        return float(value)
+    values = {p: float(v) for p, v in zip(spec.parameters, vector)}
     for group, circuit in zip(spec.groups, spec.group_circuits):
         bound = circuit.bind(values)
         result = sampler.run(bound, shots)
@@ -189,6 +220,7 @@ class EvaluationEngine:
         seed: int = 0,
         breaker: Optional[CircuitBreaker] = None,
         fault_injector=None,
+        reference: bool = False,
     ) -> None:
         if max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -196,6 +228,9 @@ class EvaluationEngine:
         self.max_workers = max_workers
         self.cache = cache
         self.seed = seed
+        #: disable the vectorized kernels / compiled replay programs and
+        #: evaluate through the original tensor-contraction path.
+        self.reference = reference
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.fault_injector = fault_injector
         self.stats = StatGroup("runtime")
@@ -253,6 +288,7 @@ class EvaluationEngine:
             exact_limit=getattr(sampler, "exact_limit", DEFAULT_EXACT_LIMIT),
             force_backend=getattr(sampler, "force_backend", None),
             readout_noise=getattr(sampler, "readout_noise", None),
+            reference=self.reference,
         )
         self._shutdown_pool()  # a new workload invalidates worker state
         self._pool_payload = pickle.dumps(self._spec, protocol=pickle.HIGHEST_PROTOCOL)
@@ -283,6 +319,49 @@ class EvaluationEngine:
         self._eval_index += 1
         return name
 
+    def evaluate_vectors(
+        self,
+        parameters: Sequence[Parameter],
+        vectors: Sequence[np.ndarray],
+        shots: int,
+    ) -> List[float]:
+        """Batch evaluation straight from optimizer vectors.
+
+        ``vectors`` are ordered by ``parameters``; the engine permutes
+        them into the spec's slot order once per batch, skipping the
+        dict round-trip ``evaluate_many`` pays per probe.  Results are
+        bit-identical to the dict path (same keys, same seeds).
+        """
+        start_ps = self._trace_start()
+        if self._spec is None or not self._functional_platform():
+            values_list = [
+                {p: float(v) for p, v in zip(parameters, vector)}
+                for vector in vectors
+            ]
+            out = self._evaluate_many(values_list, shots)
+        else:
+            order = self._spec.parameters
+            index = {id(p): i for i, p in enumerate(parameters)}
+            try:
+                perm = [index[id(p)] for p in order]
+            except KeyError:
+                missing = next(p for p in order if id(p) not in index)
+                raise KeyError(
+                    f"no value bound for circuit parameter {missing.name!r}"
+                ) from None
+            identity = perm == list(range(len(perm)))
+            arranged = []
+            for vector in vectors:
+                array = np.asarray(vector, dtype=np.float64)
+                arranged.append(array if identity else array[perm])
+            out = self._evaluate_vector_batch(arranged, shots, None)
+        self._trace_span(
+            self._next_eval_name(),
+            start_ps,
+            args={"batch": len(vectors), "shots": shots},
+        )
+        return out
+
     def _evaluate_many(
         self, values_list: Sequence[Dict[Parameter, float]], shots: int
     ) -> List[float]:
@@ -292,6 +371,14 @@ class EvaluationEngine:
             return [self.platform.evaluate(values, shots) for values in values_list]
 
         vectors = [self._vector(values) for values in values_list]
+        return self._evaluate_vector_batch(vectors, shots, values_list)
+
+    def _evaluate_vector_batch(
+        self,
+        vectors: List[np.ndarray],
+        shots: int,
+        values_list: Optional[Sequence[Dict[Parameter, float]]],
+    ) -> List[float]:
         keys = [
             evaluation_key(
                 self._spec.structure_hash, vector, shots, self.seed,
@@ -301,7 +388,7 @@ class EvaluationEngine:
         ]
 
         results: Dict[int, float] = {}
-        reused = [False] * len(values_list)
+        reused = [False] * len(vectors)
         pending: "Dict[bytes, List[int]]" = {}
         for index, key in enumerate(keys):
             if self.cache is not None:
@@ -331,9 +418,9 @@ class EvaluationEngine:
                 if self.cache is not None:
                     self.cache.put(keys[indices[0]], value)
 
-        self.stats.counter("evaluations").increment(len(values_list))
+        self.stats.counter("evaluations").increment(len(vectors))
         out: List[float] = []
-        for index, values_dict in enumerate(values_list):
+        for index, vector in enumerate(vectors):
             value = results[index]
             if reused[index]:
                 # Cache hit: the result is served from host memory, so
@@ -343,6 +430,15 @@ class EvaluationEngine:
                 # cache to model every dispatch.
                 self.stats.counter("reused_evaluations").increment()
             else:
+                # Timing replay needs a binding dict; the vector entry
+                # point builds it only here, for the evals that charge.
+                if values_list is not None:
+                    values_dict = values_list[index]
+                else:
+                    values_dict = {
+                        p: float(v)
+                        for p, v in zip(self._spec.parameters, vector)
+                    }
                 self._charge_timing(values_dict, shots, value)
             out.append(value)
         return out

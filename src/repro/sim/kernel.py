@@ -19,7 +19,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import numbers
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 #: Convenience conversion constants (picoseconds per unit).
@@ -63,18 +62,22 @@ class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling in the past, etc.)."""
 
 
-@dataclass(order=True)
 class _Event:
-    """Internal heap entry.
+    """A scheduled callback (handle returned by the ``schedule_*`` forms).
 
-    ``sort_index`` is (time, sequence) so that two events at the same
-    timestamp fire in scheduling order — this makes runs reproducible.
+    The heap itself stores ``(time, seq, event)`` tuples so ordering
+    compares plain ints — two events at the same timestamp fire in
+    scheduling order (reproducible runs) and million-event runs never
+    pay rich-comparison dispatch on the event objects.  ``__slots__``
+    keeps the per-event footprint to the three fields the kernel needs.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event dead; the kernel will skip it when popped."""
@@ -96,7 +99,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[int, int, _Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
@@ -128,8 +131,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} ps; current time is {self._now} ps"
             )
-        event = _Event(time=time, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, event)
+        event = _Event(time, callback)
+        heapq.heappush(self._heap, (time, next(self._seq), event))
         return event
 
     def schedule_after(self, delay: int, callback: Callable[[], None]) -> _Event:
@@ -153,10 +156,10 @@ class Simulator:
         Cancelled events are discarded without executing.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             event.callback()
             self._events_processed += 1
             return True
@@ -178,18 +181,23 @@ class Simulator:
         self._running = True
         executed = 0
         exhausted = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
+            while heap:
+                head_time, _, head = heap[0]
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head_time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     exhausted = False
                     break
-                self.step()
+                pop(heap)
+                self._now = head_time
+                head.callback()
+                self._events_processed += 1
                 executed += 1
         finally:
             self._running = False
@@ -205,11 +213,11 @@ class Simulator:
         """
         if time < self._now:
             raise SimulationError("cannot move time backwards")
-        for event in self._heap:
-            if not event.cancelled and event.time < time:
+        for event_time, _, event in self._heap:
+            if not event.cancelled and event_time < time:
                 raise SimulationError(
                     "advance_to() would skip a pending event at "
-                    f"{event.time} ps"
+                    f"{event_time} ps"
                 )
         self._now = time
 

@@ -63,11 +63,32 @@ def register_eval_cache(
     registry.register_collector(collect)
 
 
+def register_kernels(registry: MetricsRegistry, prefix: str = "") -> None:
+    """Publish the process-wide vectorized-kernel counters: gate
+    applies/fusions, diagonal fast-path hits, and the compiled-program
+    replay cache (:data:`repro.quantum.kernels.PROGRAM_CACHE`)."""
+    from repro.quantum.kernels import KERNEL_STATS, PROGRAM_CACHE
+
+    register_stat_group(registry, KERNEL_STATS, prefix)
+    register_stat_group(registry, PROGRAM_CACHE.stats, prefix)
+
+    def collect() -> Dict[str, float]:
+        return {
+            metric_key("replay_cache.programs", prefix): float(
+                len(PROGRAM_CACHE)
+            ),
+        }
+
+    registry.register_collector(collect)
+
+
 def register_engine(registry: MetricsRegistry, engine, prefix: str = "") -> None:
     """Publish an :class:`~repro.runtime.engine.EvaluationEngine` and
-    every resilience component hanging off it."""
+    every resilience component hanging off it, plus the kernel-layer
+    counters its evaluations drive."""
     register_stat_group(registry, engine.stats, prefix)
     register_stat_group(registry, engine.breaker.stats, prefix)
+    register_kernels(registry, prefix)
     if engine.cache is not None:
         register_eval_cache(registry, engine.cache, prefix)
     if engine.fault_injector is not None:
