@@ -45,6 +45,22 @@ KERNEL_STATS = StatGroup("kernels")
 _PROGRAMS_COMPILED = KERNEL_STATS.counter("programs_compiled")
 _PROGRAM_CACHE_HITS = KERNEL_STATS.counter("program_cache_hits")
 _REPLAYS = KERNEL_STATS.counter("replays")
+_BATCH_REPLAYS = KERNEL_STATS.counter("batch_replays")
+_BATCH_ROWS = KERNEL_STATS.counter("batch_rows")
+
+#: Upper bound on a batch chunk's total amplitude count (rows x 2**n).
+#: 2**13 amplitudes = 128 KiB of complex state (plus scratch of the
+#: same order) keeps a chunk L2-resident; an 8-qubit gradient batch
+#: (33 probes x 256 amps) stays a single chunk.
+BATCH_AMPS_TARGET = 1 << 13
+
+#: Below this many rows per chunk, broadcasting buys nothing: the
+#: per-row matrix construction is identical either way (scalar binding
+#: arithmetic per probe, see ``matrices_for``), so batching only
+#: amortizes numpy *call* overhead — negligible once each row's state
+#: is large enough that a chunk holds this few of them.  Replay such
+#: batches row by row through the scalar kernels instead.
+MIN_CHUNK_ROWS = 8
 _GATES_APPLIED = KERNEL_STATS.counter("gates_applied")
 _GATES_FUSED = KERNEL_STATS.counter("gates_fused")
 _DIAG_FAST_APPLIES = KERNEL_STATS.counter("diag_fast_applies")
@@ -163,6 +179,111 @@ def apply_2q(
         blocks[i][...] = outs[i]
 
 
+def apply_1q_batch(
+    amps: np.ndarray,
+    matrices: np.ndarray,
+    qubit: int,
+    scratch: np.ndarray,
+    diagonal: Optional[bool] = None,
+) -> None:
+    """Apply 2x2 matrices to ``qubit`` of a ``(K, 2**n)`` state batch.
+
+    ``matrices`` is either one shared ``(2, 2)`` matrix (fixed nodes —
+    every row gets the same gate, so the whole batch is one flat state
+    to the scalar kernel) or a ``(K, 2, 2)`` per-row stack (parameter
+    nodes — each row carries its own probe's angles, broadcast as
+    ``(K, 1, 1)`` column scalars).
+
+    Per-row elementwise arithmetic is the same multiply/add sequence
+    the scalar kernel runs on that row alone; the only divergence is
+    that per-row diagonal multiplies are unconditional (a row whose
+    entry is exactly ``1+0j`` is still multiplied, which can flip the
+    sign of a zero amplitude — invisible to probabilities, so sampled
+    histories stay bit-identical; tests pin this).
+    """
+    if matrices.ndim == 2:
+        apply_1q(amps.reshape(-1), matrices, qubit, scratch, diagonal)
+        return
+    rows = amps.shape[0]
+    m00 = matrices[:, 0, 0].reshape(rows, 1, 1)
+    m01 = matrices[:, 0, 1].reshape(rows, 1, 1)
+    m10 = matrices[:, 1, 0].reshape(rows, 1, 1)
+    m11 = matrices[:, 1, 1].reshape(rows, 1, 1)
+    view = amps.reshape(rows, -1, 2, 1 << qubit)
+    a0 = view[:, :, 0, :]
+    a1 = view[:, :, 1, :]
+    if diagonal is None:
+        diagonal = not (matrices[:, 0, 1].any() or matrices[:, 1, 0].any())
+    if diagonal:
+        a0 *= m00
+        a1 *= m11
+        _DIAG_FAST_APPLIES.increment(rows)
+        return
+    half = amps.size >> 1
+    s0 = scratch[:half].reshape(a0.shape)
+    s1 = scratch[half: 2 * half].reshape(a0.shape)
+    np.multiply(a0, m00, out=s0)
+    np.multiply(a0, m10, out=s1)
+    np.multiply(a1, m01, out=a0)
+    a0 += s0
+    a1 *= m11
+    a1 += s1
+
+
+def apply_2q_batch(
+    amps: np.ndarray,
+    matrices: np.ndarray,
+    q0: int,
+    q1: int,
+    scratch: np.ndarray,
+    diagonal: Optional[bool] = None,
+) -> None:
+    """Apply 4x4 matrices to ``(q0, q1)`` of a ``(K, 2**n)`` batch.
+
+    Same shared-vs-per-row convention as :func:`apply_1q_batch`.  In
+    the per-row path a column that is zero in *some* rows still
+    multiplies (adding an exact ``x * 0``), which — like the diagonal
+    case above — can only perturb zero signs, never probabilities.
+    """
+    if matrices.ndim == 2:
+        apply_2q(amps.reshape(-1), matrices, q0, q1, scratch, diagonal)
+        return
+    rows = amps.shape[0]
+    hi, lo = (q0, q1) if q0 > q1 else (q1, q0)
+    view = amps.reshape(rows, -1, 2, 1 << (hi - lo - 1), 2, 1 << lo)
+
+    def block(b0: int, b1: int) -> np.ndarray:
+        if q0 == hi:
+            return view[:, :, b0, :, b1, :]
+        return view[:, :, b1, :, b0, :]
+
+    def column(i: int, j: int) -> np.ndarray:
+        return matrices[:, i, j].reshape(rows, 1, 1, 1)
+
+    blocks = [block(0, 0), block(0, 1), block(1, 0), block(1, 1)]
+    if diagonal is None:
+        diagonal = not matrices[:, _OFFDIAG_MASKS[4]].any()
+    if diagonal:
+        for i in range(4):
+            blocks[i] *= column(i, i)
+        _DIAG_FAST_APPLIES.increment(rows)
+        return
+    quarter = amps.size >> 2
+    outs = [
+        scratch[i * quarter: (i + 1) * quarter].reshape(blocks[0].shape)
+        for i in range(4)
+    ]
+    tmp = scratch[4 * quarter: 5 * quarter].reshape(blocks[0].shape)
+    for i in range(4):
+        np.multiply(blocks[0], column(i, 0), out=outs[i])
+        for j in (1, 2, 3):
+            if matrices[:, i, j].any():
+                np.multiply(blocks[j], column(i, j), out=tmp)
+                outs[i] += tmp
+    for i in range(4):
+        blocks[i][...] = outs[i]
+
+
 # ----------------------------------------------------------------------
 # compiled program nodes
 # ----------------------------------------------------------------------
@@ -186,6 +307,10 @@ class _FixedNode:
         self.diagonal = _is_diagonal(self.matrix)
 
     def matrix_for(self, vector: Optional[np.ndarray]) -> np.ndarray:
+        return self.matrix
+
+    def matrices_for(self, batch: np.ndarray) -> np.ndarray:
+        # Value-independent: every row shares the one frozen matrix.
         return self.matrix
 
 
@@ -216,6 +341,11 @@ class _ParamNode:
         )
         return self.spec.matrix_factory(*params)
 
+    def matrices_for(self, batch: np.ndarray) -> np.ndarray:
+        # Row k runs the *scalar* binding arithmetic on batch[k], so the
+        # stacked matrices are bitwise the ones per-probe replay builds.
+        return np.stack([self.matrix_for(row) for row in batch])
+
 
 class _FusedNode:
     """A run of adjacent single-qubit gates on one wire, composed into
@@ -239,6 +369,12 @@ class _FusedNode:
         for element in self.elements[1:]:
             combined = element.matrix_for(vector) @ combined
         return combined
+
+    def matrices_for(self, batch: np.ndarray) -> np.ndarray:
+        # Composed per row with 2x2 ``@`` in the scalar order (a stacked
+        # matmul may route through a different BLAS kernel and round the
+        # last ulp differently; these matrices must match replay bitwise).
+        return np.stack([self.matrix_for(row) for row in batch])
 
 
 class CompiledProgram:
@@ -304,6 +440,77 @@ class CompiledProgram:
         _REPLAYS.increment()
         _GATES_APPLIED.increment(len(self.ops))
         return Statevector(amps, self.n_qubits)
+
+    def execute_batch(self, vectors: np.ndarray) -> List["Statevector"]:
+        """Replay the program once over a ``(K, n_slots)`` probe batch.
+
+        The K statevectors evolve together in one ``(K, 2**n)`` complex
+        array: each node is applied to every row in a single broadcast
+        pass (shared matrix → the whole batch is one flat state to the
+        scalar kernel; per-row matrices → ``(K, 1, 1)`` column
+        broadcast), so the program traversal, node dispatch and numpy
+        call overhead are paid once per *batch* instead of once per
+        probe — the cross-probe amortisation a gradient/SPSA step's
+        ``2P + 1`` evaluations want.
+
+        Row ``k`` of the result is bit-identical to
+        ``execute(vectors[k])`` up to the sign of zero amplitudes (see
+        :func:`apply_1q_batch`), hence sampled histories are
+        bit-identical; batch probabilities are computed in one pass and
+        adopted by the returned views.
+
+        Large batches are processed in row chunks bounded by
+        ``BATCH_AMPS_TARGET`` total amplitudes: past that the ``(K,
+        2**n)`` working set falls out of cache and every node apply
+        streams it from memory, which is *slower* than the per-probe
+        loop the batching replaces.  Chunking is invisible in the
+        results — rows never interact.
+        """
+        from repro.quantum.statevector import Statevector, adopt_batch_probabilities
+
+        batch = np.ascontiguousarray(vectors, dtype=np.float64)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"expected a (K, n_slots) batch, got shape {batch.shape}"
+            )
+        rows = batch.shape[0]
+        if rows == 0:
+            return []
+        if batch.shape[1] < self.n_slots:
+            raise ValueError(
+                f"parameter batch has {batch.shape[1]} column(s); "
+                f"program needs {self.n_slots}"
+            )
+        chunk = BATCH_AMPS_TARGET >> self.n_qubits
+        if chunk < MIN_CHUNK_ROWS:
+            # States this large leave no call overhead to amortize —
+            # the scalar kernels are the faster (and bit-identical,
+            # zero signs included) schedule.
+            return [self.execute(batch[k]) for k in range(rows)]
+        if rows > chunk:
+            out: List["Statevector"] = []
+            for start in range(0, rows, chunk):
+                out.extend(self.execute_batch(batch[start:start + chunk]))
+            return out
+        amps = np.zeros((rows, 1 << self.n_qubits), dtype=complex)
+        amps[:, 0] = 1.0
+        scratch = np.empty(rows * scratch_size(self.n_qubits), dtype=complex)
+        for node in self.ops:
+            matrices = node.matrices_for(batch)
+            qubits = node.qubits
+            if len(qubits) == 1:
+                apply_1q_batch(amps, matrices, qubits[0], scratch, node.diagonal)
+            else:
+                apply_2q_batch(
+                    amps, matrices, qubits[0], qubits[1], scratch, node.diagonal
+                )
+        _REPLAYS.increment(rows)
+        _BATCH_REPLAYS.increment()
+        _BATCH_ROWS.increment(rows)
+        _GATES_APPLIED.increment(len(self.ops) * rows)
+        states = [Statevector(amps[k], self.n_qubits) for k in range(rows)]
+        adopt_batch_probabilities(states, amps)
+        return states
 
 
 def _compile_op(
@@ -460,6 +667,41 @@ class ReplayCache:
             self._entries.popitem(last=False)
             self._evictions.increment()
         return program
+
+    def adopt(self, key: str, program: CompiledProgram) -> CompiledProgram:
+        """Insert an externally compiled program under ``key``.
+
+        The persistent-worker path: workloads ship pre-compiled
+        programs into long-lived workers, which adopt them here so
+        repeated workloads hit instead of piling up — growth stays
+        bounded by the same LRU budget as a local compile.  Returns the
+        cached program when the key is already resident (the shipped
+        duplicate is dropped), the adopted one otherwise.
+        """
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._entries.move_to_end(key)
+            self._hits.increment()
+            _PROGRAM_CACHE_HITS.increment()
+            return existing
+        self._misses.increment()
+        program.key = key
+        self._entries[key] = program
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions.increment()
+        return program
+
+    def trim(self) -> None:
+        """Evict LRU entries until the cache fits ``max_entries``.
+
+        Insertions self-trim; this is for when the *budget* shrinks
+        after the fact — e.g. a forked pool worker inheriting the
+        parent's populated cache along with a tighter ``replay_budget``.
+        """
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions.increment()
 
     def clear(self) -> None:
         self._entries.clear()

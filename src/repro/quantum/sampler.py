@@ -132,6 +132,52 @@ class Sampler:
             backend_name=self._exact.name,
         )
 
+    def run_program_batch(
+        self,
+        program: "CompiledProgram",
+        vectors: np.ndarray,
+        shots: int,
+        rngs: Optional[List[np.random.Generator]] = None,
+    ) -> List[SampleResult]:
+        """Replay a program once over a ``(K, n_slots)`` batch and sample.
+
+        The cross-probe twin of :meth:`run_program`: one
+        :meth:`~repro.quantum.kernels.CompiledProgram.execute_batch`
+        pass produces all K states, then each row is sampled with its
+        own generator (``rngs[k]``; defaults to the sampler's shared
+        stream) in row order — shot draw first, readout corruption
+        second, exactly the per-probe consumption order, so row ``k``'s
+        counts are bit-identical to ``run_program(program, vectors[k])``
+        under the same generator state.
+        """
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        states = program.execute_batch(vectors)
+        if rngs is not None and len(rngs) != len(states):
+            raise ValueError(
+                f"got {len(rngs)} generators for {len(states)} batch rows"
+            )
+        measured = program.measured_qubits() or list(range(program.n_qubits))
+        n_measured = len(set(measured))
+        noisy = self.readout_noise is not None and not self.readout_noise.is_ideal
+        results: List[SampleResult] = []
+        for k, state in enumerate(states):
+            rng = self.rng if rngs is None else rngs[k]
+            counts = state.sample_counts(shots, rng, qubits=measured)
+            if noisy:
+                counts = self.readout_noise.apply_to_counts(counts, n_measured, rng)
+            results.append(
+                SampleResult(
+                    counts=counts,
+                    shots=shots,
+                    n_qubits=program.n_qubits,
+                    backend_name=self._exact.name,
+                )
+            )
+        self.executions += len(states)
+        self.total_shots += shots * len(states)
+        return results
+
     # ------------------------------------------------------------------
     def expectation(
         self,

@@ -217,3 +217,22 @@ class Statevector:
 
     def copy(self) -> "Statevector":
         return Statevector(self._amplitudes.copy(), self.n_qubits)
+
+
+def adopt_batch_probabilities(
+    states: Sequence[Statevector], amplitudes: np.ndarray
+) -> None:
+    """Prime ``states[k]``'s probability cache from batched amplitudes.
+
+    ``|amplitudes|^2`` over the whole ``(K, 2**n)`` array is one numpy
+    pass instead of K row-sized ones; elementwise it is exactly what
+    each row's own :meth:`Statevector.probabilities` would compute, so
+    downstream sampling draws identically.  Rows are handed out as
+    read-only views, matching the cache contract.
+    """
+    probs = np.abs(amplitudes) ** 2
+    probs.setflags(write=False)
+    for k, state in enumerate(states):
+        row = probs[k]
+        row.setflags(write=False)
+        state._probs_cache = row

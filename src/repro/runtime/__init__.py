@@ -5,8 +5,11 @@ circuit evaluation inside the hybrid loop.  This package speeds it up
 without touching the architectural model:
 
 * :class:`EvaluationEngine` — a platform wrapper that fans a batch of
-  independent evaluations across worker processes and replays the
-  platform's timing model serially;
+  independent evaluations across persistent shared-memory workers
+  (:class:`SharedMemoryPool`) and replays the platform's timing model
+  serially; the serial path itself is batched
+  (:func:`evaluate_spec_batch` amortises program traversal across the
+  2P+1 probes of an optimizer step);
 * :class:`EvalCache` — a bounded LRU keyed on the content address of
   an evaluation (circuit structure, parameters, shots, seed, backend),
   so repeated requests are served bit-identically without recompute;
@@ -22,13 +25,16 @@ from repro.runtime.cache import (
     EvalKey,
     circuit_structure_hash,
     evaluation_key,
+    evaluation_keys,
 )
 from repro.runtime.engine import (
     EvaluationEngine,
     EvaluationSpec,
     build_spec,
     evaluate_spec,
+    evaluate_spec_batch,
 )
+from repro.runtime.workers import PoolBroken, SharedMemoryPool
 
 __all__ = [
     "BreakerState",
@@ -38,8 +44,12 @@ __all__ = [
     "EvalKey",
     "EvaluationEngine",
     "EvaluationSpec",
+    "PoolBroken",
+    "SharedMemoryPool",
     "build_spec",
     "circuit_structure_hash",
     "evaluate_spec",
+    "evaluate_spec_batch",
     "evaluation_key",
+    "evaluation_keys",
 ]

@@ -123,6 +123,32 @@ def evaluation_key(
     return EvalKey(digest.digest())
 
 
+def evaluation_keys(
+    structure_hash: str,
+    vectors: Sequence[np.ndarray],
+    shots: int,
+    base_seed: int,
+    backend_id: str,
+) -> "list[EvalKey]":
+    """Content addresses for a whole probe batch.
+
+    Identical digests to per-vector :func:`evaluation_key` calls (the
+    seed-derivation contract depends on that), but the static prefix —
+    the structure hash — is absorbed once and ``copy()``-ed per vector
+    instead of being rehashed 2P+1 times per optimizer step.
+    """
+    prefix = hashlib.blake2b(digest_size=16)
+    prefix.update(structure_hash.encode())
+    suffix = struct.pack("<qq", shots, base_seed) + backend_id.encode()
+    keys = []
+    for vector in vectors:
+        digest = prefix.copy()
+        digest.update(np.ascontiguousarray(vector, dtype=np.float64).tobytes())
+        digest.update(suffix)
+        keys.append(EvalKey(digest.digest()))
+    return keys
+
+
 class EvalCache:
     """Bounded LRU mapping :class:`EvalKey` → evaluation result."""
 

@@ -85,7 +85,13 @@ def register_kernels(registry: MetricsRegistry, prefix: str = "") -> None:
 def register_engine(registry: MetricsRegistry, engine, prefix: str = "") -> None:
     """Publish an :class:`~repro.runtime.engine.EvaluationEngine` and
     every resilience component hanging off it, plus the kernel-layer
-    counters its evaluations drive."""
+    counters its evaluations drive.
+
+    The persistent pool's worker-side counters (kernel stats and the
+    workers' own replay-cache hit/miss/eviction numbers, summed across
+    workers) ride along: workers piggyback a snapshot on every batch
+    reply, and the collector reads the engine's latest snapshot — valid
+    even after the pool is torn down."""
     register_stat_group(registry, engine.stats, prefix)
     register_stat_group(registry, engine.breaker.stats, prefix)
     register_kernels(registry, prefix)
@@ -93,6 +99,19 @@ def register_engine(registry: MetricsRegistry, engine, prefix: str = "") -> None
         register_eval_cache(registry, engine.cache, prefix)
     if engine.fault_injector is not None:
         register_stat_group(registry, engine.fault_injector.stats, prefix)
+
+    def collect_workers() -> Dict[str, float]:
+        pool = getattr(engine, "_pool", None)
+        if pool is not None and not pool.closed:
+            snapshot = pool.worker_stats()
+        else:
+            snapshot = getattr(engine, "_worker_stat_snapshot", {})
+        return {
+            metric_key(name, prefix): float(value)
+            for name, value in snapshot.items()
+        }
+
+    registry.register_collector(collect_workers)
 
 
 def register_health(

@@ -11,16 +11,18 @@ import pickle
 
 import numpy as np
 import pytest
-from concurrent.futures.process import BrokenProcessPool
 
 from repro import EvalCache, EvaluationEngine, HybridRunner, QtenonSystem
 from repro.runtime import (
     BreakerState,
     CircuitBreaker,
+    PoolBroken,
     build_spec,
     circuit_structure_hash,
     evaluate_spec,
+    evaluate_spec_batch,
     evaluation_key,
+    evaluation_keys,
 )
 from repro.quantum import Parameter, QuantumCircuit
 from repro.vqa import make_optimizer
@@ -253,8 +255,14 @@ class TestEngineFallbacks:
         engine = _engine(workload, max_workers=2, breaker=breaker)
 
         class ExplodingPool:
-            def submit(self, fn, *args):
-                raise BrokenProcessPool("worker died")
+            def dispatch_batch(self, vectors, shots, seeds):
+                raise PoolBroken("worker died")
+
+            def run_batch(self, vectors, shots, seeds):
+                raise PoolBroken("worker died")
+
+            def close(self):
+                pass
 
         healthy_ensure_pool = engine._ensure_pool
         engine._ensure_pool = lambda: ExplodingPool()
@@ -296,8 +304,14 @@ class TestEngineFallbacks:
         engine = _engine(workload, max_workers=2, breaker=breaker)
 
         class ExplodingPool:
-            def submit(self, fn, *args):
-                raise BrokenProcessPool("worker died")
+            def dispatch_batch(self, vectors, shots, seeds):
+                raise PoolBroken("worker died")
+
+            def run_batch(self, vectors, shots, seeds):
+                raise PoolBroken("worker died")
+
+            def close(self):
+                pass
 
         engine._ensure_pool = lambda: ExplodingPool()
         batch = self._bindings(parameters, [0.1])
