@@ -28,6 +28,7 @@ from repro.core import QtenonConfig, QtenonFeatures
 from repro.host import BOOM_LARGE, CoreModel
 from repro.vqa import (
     VqaWorkload,
+    ghz_workload,
     make_optimizer,
     qaoa_workload,
     qnn_workload,
@@ -41,6 +42,7 @@ WORKLOADS: Dict[str, Callable[[int], VqaWorkload]] = {
     "qaoa": lambda n: qaoa_workload(n, n_layers=5, seed=0),
     "vqe": lambda n: vqe_workload(n, n_layers=2, seed=0),
     "qnn": lambda n: qnn_workload(n, n_layers=2),
+    "ghz": ghz_workload,
 }
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -40,9 +40,23 @@ from repro.analysis import format_table, format_time_ps
 from repro.core import QtenonConfig
 from repro.host import core_by_name
 from repro.service import JobSpec, ServiceAPI, ServiceConfig
-from repro.vqa import make_optimizer, qaoa_workload, qnn_workload, vqe_workload
+from repro.vqa import (
+    ghz_workload,
+    make_optimizer,
+    qaoa_workload,
+    qnn_workload,
+    vqe_workload,
+)
 
-WORKLOADS = {"qaoa": qaoa_workload, "vqe": vqe_workload, "qnn": qnn_workload}
+WORKLOADS = {
+    "qaoa": qaoa_workload,
+    "vqe": vqe_workload,
+    "qnn": qnn_workload,
+    "ghz": ghz_workload,
+}
+
+#: --backend choices; "auto" defers to the execution planner.
+BACKEND_CHOICES = ("auto", "statevector", "stabilizer", "product")
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +130,10 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--platform", choices=("qtenon", "baseline"), default="qtenon"
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend (auto = cost-model planner)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--platform", choices=("qtenon", "baseline"), default="qtenon",
+    )
+    run.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend (auto = cost-model planner; stabilizer "
+             "runs Clifford circuits exactly at any width)",
     )
     run.add_argument(
         "--compare", action="store_true",
@@ -308,11 +331,13 @@ def _make_platform(name: str, args) -> object:
         from repro.quantum.noise import ReadoutNoise
 
         readout = ReadoutNoise(p01=args.readout_p01, p10=args.readout_p10)
+    backend = None if args.backend == "auto" else args.backend
     if name == "qtenon":
         platform = QtenonSystem(
             args.qubits,
             core=core_by_name(args.core),
             seed=args.seed,
+            backend=backend,
             timing_only=args.timing_only,
             readout_noise=readout,
             config=QtenonConfig(
@@ -324,6 +349,7 @@ def _make_platform(name: str, args) -> object:
         platform = DecoupledSystem(
             args.qubits,
             seed=args.seed,
+            backend=backend,
             timing_only=args.timing_only,
             readout_noise=readout,
         )
@@ -353,10 +379,12 @@ def _run_one(platform_name: str, args):
 
 
 def cmd_run(args) -> int:
-    if args.qubits > 20 and not args.timing_only:
+    if args.qubits > 20 and not args.timing_only and args.backend != "stabilizer":
         print(
-            f"note: {args.qubits} qubits exceeds exact simulation; "
-            "consider --timing-only for sweeps",
+            f"note: {args.qubits} qubits exceeds exact statevector "
+            "simulation; Clifford circuits stay exact via the stabilizer "
+            "backend, anything else falls back to the product state "
+            "(consider --timing-only for sweeps)",
             file=sys.stderr,
         )
     result = _run_one(args.platform, args)
@@ -393,6 +421,7 @@ def _spec_from_args(args) -> JobSpec:
         iterations=args.iterations,
         seed=args.seed,
         platform=args.platform,
+        backend=args.backend,
     )
 
 

@@ -1,0 +1,29 @@
+"""Cost-model-driven multi-backend execution planner (see planner.py)."""
+
+from repro.planner.planner import (
+    BACKEND_CHOICES,
+    CLIFFORD,
+    CLIFFORD_T,
+    DEFAULT_PLAN_SHOTS,
+    DEFAULT_PLANNER,
+    GENERAL,
+    PLANNER_STATS,
+    CostModel,
+    ExecutionPlanner,
+    PlanDecision,
+    derive_backend_id,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "CLIFFORD",
+    "CLIFFORD_T",
+    "DEFAULT_PLAN_SHOTS",
+    "DEFAULT_PLANNER",
+    "GENERAL",
+    "PLANNER_STATS",
+    "CostModel",
+    "ExecutionPlanner",
+    "PlanDecision",
+    "derive_backend_id",
+]

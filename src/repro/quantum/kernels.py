@@ -30,7 +30,9 @@ stays available via ``reference=True`` escape hatches on
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -89,6 +91,110 @@ _OFFDIAG_MASKS = {
 
 def _is_diagonal(matrix: np.ndarray) -> bool:
     return not matrix[_OFFDIAG_MASKS[matrix.shape[0]]].any()
+
+
+# ----------------------------------------------------------------------
+# gate census (compile-time circuit classification)
+# ----------------------------------------------------------------------
+#: Fixed gates that are Clifford for every invocation.
+_CLIFFORD_FIXED = frozenset({"x", "y", "z", "h", "s", "sdg", "cx", "cz"})
+_ROTATION_GATES = frozenset({"rx", "ry", "rz", "rzz"})
+
+
+@dataclass(frozen=True)
+class GateCensus:
+    """Per-circuit gate counts, bucketed by simulability class.
+
+    A pure function of the circuit *structure* (fixed angles count,
+    symbolic parameters are opaque), computed once at compile time and
+    attached to :class:`CompiledProgram` — the input the execution
+    planner (:mod:`repro.planner`) classifies jobs from.  ``n_t``
+    counts the fixed non-Clifford *diagonal* rotations a Clifford+T
+    extension could absorb (``t``, ``rz``/``rzz`` at odd multiples of
+    pi/4); every other fixed non-Clifford gate and every symbolic gate
+    lands in ``n_other`` / ``n_parametric``.
+    """
+
+    n_gates: int = 0
+    n_1q: int = 0
+    n_2q: int = 0
+    n_parametric: int = 0
+    n_clifford: int = 0
+    n_t: int = 0
+    n_other: int = 0
+    n_measurements: int = 0
+
+    @property
+    def is_clifford(self) -> bool:
+        return self.n_parametric == 0 and self.n_t == 0 and self.n_other == 0
+
+    @property
+    def is_clifford_t(self) -> bool:
+        return self.n_parametric == 0 and self.n_other == 0
+
+    def merge(self, other: "GateCensus") -> "GateCensus":
+        return GateCensus(
+            n_gates=self.n_gates + other.n_gates,
+            n_1q=self.n_1q + other.n_1q,
+            n_2q=self.n_2q + other.n_2q,
+            n_parametric=self.n_parametric + other.n_parametric,
+            n_clifford=self.n_clifford + other.n_clifford,
+            n_t=self.n_t + other.n_t,
+            n_other=self.n_other + other.n_other,
+            n_measurements=self.n_measurements + other.n_measurements,
+        )
+
+
+def _is_odd_eighth(angle: float) -> bool:
+    """True when ``angle`` is an odd multiple of pi/4 (a T-power)."""
+    eighths = angle / (0.25 * math.pi)
+    nearest = round(eighths)
+    return abs(eighths - nearest) <= 1e-9 and nearest % 2 == 1
+
+
+def gate_census(circuit: QuantumCircuit) -> GateCensus:
+    """Classify every operation of ``circuit`` (see :class:`GateCensus`)."""
+    from repro.quantum.stabilizer import clifford_quarter
+
+    n_gates = n_1q = n_2q = 0
+    n_parametric = n_clifford = n_t = n_other = n_measurements = 0
+    for op in circuit.operations:
+        if op.is_measurement:
+            n_measurements += 1
+            continue
+        n_gates += 1
+        if len(op.qubits) == 1:
+            n_1q += 1
+        else:
+            n_2q += 1
+        if op.is_symbolic:
+            n_parametric += 1
+            continue
+        name = op.name
+        if name in _CLIFFORD_FIXED:
+            n_clifford += 1
+        elif name == "t":
+            n_t += 1
+        elif name in _ROTATION_GATES:
+            angle = float(op.params[0])
+            if clifford_quarter(angle) is not None:
+                n_clifford += 1
+            elif name in ("rz", "rzz") and _is_odd_eighth(angle):
+                n_t += 1
+            else:
+                n_other += 1
+        else:
+            n_other += 1
+    return GateCensus(
+        n_gates=n_gates,
+        n_1q=n_1q,
+        n_2q=n_2q,
+        n_parametric=n_parametric,
+        n_clifford=n_clifford,
+        n_t=n_t,
+        n_other=n_other,
+        n_measurements=n_measurements,
+    )
 
 
 def apply_1q(
@@ -386,7 +492,15 @@ class CompiledProgram:
     analogue of the paper's parameter-only ``q_update`` delta path.
     """
 
-    __slots__ = ("n_qubits", "ops", "measured", "n_slots", "source_gates", "key")
+    __slots__ = (
+        "n_qubits",
+        "ops",
+        "measured",
+        "n_slots",
+        "source_gates",
+        "key",
+        "census",
+    )
 
     def __init__(
         self,
@@ -396,6 +510,7 @@ class CompiledProgram:
         n_slots: int,
         source_gates: int,
         key: Optional[str] = None,
+        census: Optional[GateCensus] = None,
     ) -> None:
         self.n_qubits = n_qubits
         self.ops = ops
@@ -403,6 +518,8 @@ class CompiledProgram:
         self.n_slots = n_slots
         self.source_gates = source_gates
         self.key = key
+        #: compile-time gate classification; the planner's input.
+        self.census = census
 
     @property
     def n_nodes(self) -> int:
@@ -610,6 +727,7 @@ def compile_circuit(
         measured=tuple(measured),
         n_slots=len(order),
         source_gates=source_gates,
+        census=gate_census(circuit),
     )
 
 

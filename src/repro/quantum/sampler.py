@@ -20,6 +20,7 @@ from repro.quantum.kernels import CompiledProgram
 from repro.quantum.noise import ReadoutNoise
 from repro.quantum.pauli import MeasurementGroup, PauliSum
 from repro.quantum.product_state import ProductStateBackend
+from repro.quantum.stabilizer import StabilizerBackend, is_clifford_circuit
 from repro.quantum.statevector import StatevectorBackend
 from repro.quantum.stub import StubBackend
 
@@ -69,19 +70,34 @@ class Sampler:
         self.reference = reference
         self._exact = StatevectorBackend(reference=reference)
         self._product = ProductStateBackend()
+        self._stabilizer = StabilizerBackend()
         self._stub = StubBackend()
         self.executions = 0
         self.total_shots = 0
 
     def backend_for(self, circuit: QuantumCircuit):
+        """Pick the execution backend for one circuit.
+
+        An explicit ``force_backend`` always wins — that is how the
+        execution planner's per-job decision (threaded through
+        ``EvaluationSpec.force_backend``) reaches the workers.  The
+        fallback for samplers driven outside the planner mirrors its
+        routing: exact statevector below the width limit, the exact
+        stabilizer tableau for wide Clifford circuits, and only then
+        the approximate product state.
+        """
         if self.force_backend == "statevector":
             return self._exact
         if self.force_backend == "product":
             return self._product
+        if self.force_backend == "stabilizer":
+            return self._stabilizer
         if self.force_backend == "stub":
             return self._stub
         if circuit.n_qubits <= self.exact_limit:
             return self._exact
+        if is_clifford_circuit(circuit):
+            return self._stabilizer
         return self._product
 
     def run(self, circuit: QuantumCircuit, shots: int) -> SampleResult:

@@ -61,7 +61,8 @@ from repro.analysis.breakdown import ExecutionReport
 from repro.compiler.transpile import transpile
 from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerHang
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.kernels import PROGRAM_CACHE, CompiledProgram
+from repro.planner import DEFAULT_PLANNER, PlanDecision, derive_backend_id
+from repro.quantum.kernels import PROGRAM_CACHE, CompiledProgram, gate_census
 from repro.quantum.noise import ReadoutNoise
 from repro.quantum.parameters import Parameter
 from repro.quantum.pauli import MeasurementGroup, PauliSum
@@ -102,6 +103,10 @@ class EvaluationSpec:
     backend_id: str
     programs: Optional[List[CompiledProgram]] = None
     reference: bool = False
+    #: the planner's routing decision for this spec (kept for
+    #: telemetry/span attributes; the operative outputs are
+    #: ``force_backend`` and ``backend_id`` above).
+    plan: Optional[PlanDecision] = None
 
 
 def build_spec(
@@ -131,14 +136,22 @@ def build_spec(
         variant.measure_all()
         group_circuits.append(transpile(variant))
 
-    if force_backend is not None:
-        backend = force_backend
-    elif ansatz.n_qubits <= exact_limit:
-        backend = "statevector"
-    else:
-        backend = "product"
-    if readout_noise is not None and not readout_noise.is_ideal:
-        backend += f"+readout({readout_noise.p01:g},{readout_noise.p10:g})"
+    # The planner replaces the old bare width check: it classifies the
+    # job from the group circuits' gate censuses (Clifford circuits of
+    # any width run exactly on the stabilizer tableau; general jobs
+    # keep the legacy statevector/product choice, so their cache keys
+    # and sampler seeds are unchanged).  The chosen backend is stored
+    # as the spec's ``force_backend`` so every worker's Sampler follows
+    # the same routing — a planner-chosen backend and the same backend
+    # forced explicitly are indistinguishable downstream, sharing
+    # backend ids, cache keys and content-derived seeds.
+    plan = DEFAULT_PLANNER.decide(
+        n_qubits=ansatz.n_qubits,
+        censuses=[gate_census(circuit) for circuit in group_circuits],
+        exact_limit=exact_limit,
+        force_backend=force_backend,
+    )
+    backend = derive_backend_id(plan.backend, readout_noise)
 
     # Reference mode deliberately shares the backend id (and thus cache
     # keys and derived sampler seeds) with the kernel path: the two are
@@ -162,12 +175,13 @@ def build_spec(
         group_circuits=group_circuits,
         constant=observable.constant,
         exact_limit=exact_limit,
-        force_backend=force_backend,
+        force_backend=plan.backend,
         readout_noise=readout_noise,
         structure_hash=circuit_structure_hash(ansatz, order),
         backend_id=backend,
         programs=programs,
         reference=reference,
+        plan=plan,
     )
 
 
@@ -332,8 +346,8 @@ class EvaluationEngine:
     def prepare(self, ansatz: QuantumCircuit, observable: PauliSum) -> None:
         start_ps = self._trace_start()
         self.platform.prepare(ansatz, observable)
-        self._trace_span("prepare", start_ps)
         if not self._functional_platform():
+            self._trace_span("prepare", start_ps)
             self._spec = None
             return
         sampler = getattr(self.platform, "sampler", None)
@@ -345,6 +359,13 @@ class EvaluationEngine:
             readout_noise=getattr(sampler, "readout_noise", None),
             reference=self.reference,
         )
+        # The planner's routing decision rides on the prepare span (the
+        # counter side lives in the process-wide PLANNER_STATS group).
+        span_args = {"backend": self._spec.backend_id}
+        if self._spec.plan is not None:
+            span_args["job_class"] = self._spec.plan.job_class
+            span_args["planner_forced"] = self._spec.plan.forced
+        self._trace_span("prepare", start_ps, span_args)
         self._pool_payload = pickle.dumps(
             self._spec, protocol=pickle.HIGHEST_PROTOCOL
         )

@@ -33,9 +33,11 @@ from typing import Dict, Optional
 from repro.vqa.runner import HybridResult
 
 #: Workload families the service accepts (mirrors the CLI).
-WORKLOAD_NAMES = ("qaoa", "vqe", "qnn")
+WORKLOAD_NAMES = ("qaoa", "vqe", "qnn", "ghz")
 OPTIMIZER_NAMES = ("gd", "spsa")
 PLATFORM_NAMES = ("qtenon", "baseline")
+#: Execution-backend selector; ``auto`` defers to the planner.
+BACKEND_NAMES = ("auto", "statevector", "stabilizer", "product")
 
 
 class JobState(enum.Enum):
@@ -76,6 +78,10 @@ class JobSpec:
     iterations: int = 1
     seed: int = 0
     platform: str = "qtenon"
+    #: execution backend: ``auto`` routes through the planner, the
+    #: rest force the named backend (part of the content address — a
+    #: forced-backend run is a *different* computation).
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_NAMES:
@@ -89,6 +95,10 @@ class JobSpec:
         if self.platform not in PLATFORM_NAMES:
             raise ValueError(
                 f"unknown platform {self.platform!r}; expected one of {PLATFORM_NAMES}"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
             )
         if self.n_qubits <= 0:
             raise ValueError(f"n_qubits must be positive, got {self.n_qubits}")
@@ -110,6 +120,7 @@ class JobSpec:
                 self.iterations,
                 self.seed,
                 self.platform,
+                self.backend,
             )
         )
         return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
@@ -139,6 +150,7 @@ class JobSpec:
             "iterations": self.iterations,
             "seed": self.seed,
             "platform": self.platform,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -151,6 +163,7 @@ class JobSpec:
             iterations=int(data.get("iterations", 1)),
             seed=int(data.get("seed", 0)),
             platform=str(data.get("platform", "qtenon")),
+            backend=str(data.get("backend", "auto")),
         )
 
 

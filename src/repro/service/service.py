@@ -90,10 +90,21 @@ from repro.telemetry.tracing import (
     make_trace_id,
     merged_chrome_trace as render_merged_trace,
 )
-from repro.vqa import make_optimizer, qaoa_workload, qnn_workload, vqe_workload
+from repro.vqa import (
+    ghz_workload,
+    make_optimizer,
+    qaoa_workload,
+    qnn_workload,
+    vqe_workload,
+)
 from repro.vqa.runner import HybridResult, HybridRunner
 
-WORKLOADS = {"qaoa": qaoa_workload, "vqe": vqe_workload, "qnn": qnn_workload}
+WORKLOADS = {
+    "qaoa": qaoa_workload,
+    "vqe": vqe_workload,
+    "qnn": qnn_workload,
+    "ghz": ghz_workload,
+}
 
 #: Terminal states a primary propagates to its coalesced followers.
 _PROPAGATED = (JobState.DONE, JobState.FAILED, JobState.TIMED_OUT)
@@ -544,11 +555,16 @@ class JobService:
             time.sleep(self.fault_injector.plan.worker.slowdown_s)
 
     def _default_platform(self, spec: JobSpec) -> EvaluationEngine:
+        # "auto" leaves the platform sampler unforced so the execution
+        # planner routes the job from its gate census; anything else is
+        # threaded to Sampler.force_backend and wins unconditionally.
+        backend = None if spec.backend == "auto" else spec.backend
         if spec.platform == "qtenon":
             platform = QtenonSystem(
                 spec.n_qubits,
                 core=core_by_name(self.config.core),
                 seed=spec.seed,
+                backend=backend,
                 timing_only=self.config.timing_only,
                 trace_events=self.config.sim_trace,
                 config=QtenonConfig(
@@ -558,7 +574,10 @@ class JobService:
             )
         else:
             platform = DecoupledSystem(
-                spec.n_qubits, seed=spec.seed, timing_only=self.config.timing_only
+                spec.n_qubits,
+                seed=spec.seed,
+                backend=backend,
+                timing_only=self.config.timing_only,
             )
         # One in-process engine per job; parallelism lives in the
         # service's worker slots, reuse in the shared cache.

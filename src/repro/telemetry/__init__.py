@@ -29,6 +29,7 @@ from repro.telemetry.bridge import (
     register_eval_cache,
     register_fault_injector,
     register_health,
+    register_planner,
     register_service,
     register_stat_group,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "register_eval_cache",
     "register_fault_injector",
     "register_health",
+    "register_planner",
     "register_service",
     "register_stat_group",
     "set_registry",

@@ -18,11 +18,18 @@ aggregate a fleet-level exporter wants.
 from __future__ import annotations
 
 import re
+import weakref
 from typing import Dict
 
 from repro.telemetry.metrics import MetricsRegistry
 
 _INVALID = re.compile(r"[^a-z0-9_.]")
+
+#: Registries that already carry the process-wide planner/stabilizer
+#: collectors — both ``register_engine`` and ``register_service`` pull
+#: them in, and a registry serving both must not sum the same global
+#: counters twice.
+_PLANNER_REGISTRIES: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def metric_key(raw: str, prefix: str = "") -> str:
@@ -82,6 +89,21 @@ def register_kernels(registry: MetricsRegistry, prefix: str = "") -> None:
     registry.register_collector(collect)
 
 
+def register_planner(registry: MetricsRegistry, prefix: str = "") -> None:
+    """Publish the process-wide execution-planner decision counters and
+    the stabilizer backend's tableau/sampling counters.  Idempotent per
+    registry: the underlying StatGroups are global, so a registry that
+    hosts both an engine and a service must not count them twice."""
+    if registry in _PLANNER_REGISTRIES:
+        return
+    _PLANNER_REGISTRIES.add(registry)
+    from repro.planner import PLANNER_STATS
+    from repro.quantum.stabilizer import STABILIZER_STATS
+
+    register_stat_group(registry, PLANNER_STATS, prefix)
+    register_stat_group(registry, STABILIZER_STATS, prefix)
+
+
 def register_engine(registry: MetricsRegistry, engine, prefix: str = "") -> None:
     """Publish an :class:`~repro.runtime.engine.EvaluationEngine` and
     every resilience component hanging off it, plus the kernel-layer
@@ -95,6 +117,7 @@ def register_engine(registry: MetricsRegistry, engine, prefix: str = "") -> None
     register_stat_group(registry, engine.stats, prefix)
     register_stat_group(registry, engine.breaker.stats, prefix)
     register_kernels(registry, prefix)
+    register_planner(registry, prefix)
     if engine.cache is not None:
         register_eval_cache(registry, engine.cache, prefix)
     if engine.fault_injector is not None:
@@ -141,6 +164,7 @@ def register_service(
     register_stat_group(registry, service.stats, prefix)
     register_stat_group(registry, service.admission.stats, prefix)
     register_stat_group(registry, service.coalescer.stats, prefix)
+    register_planner(registry, prefix)
     if service.cache is not None:
         register_eval_cache(registry, service.cache, prefix)
     register_health(registry, service.health, metric_key("service.backend", prefix))

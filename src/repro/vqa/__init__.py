@@ -22,6 +22,7 @@ from repro.vqa.optimizers import (
     Spsa,
     make_optimizer,
 )
+from repro.vqa.ghz import ghz_circuit, ghz_observable, ghz_workload
 from repro.vqa.qaoa import VqaWorkload, best_sampled_cut, maxcut_value, qaoa_workload
 from repro.vqa.qnn import qnn_workload
 from repro.vqa.runner import HybridResult, HybridRunner, Platform
@@ -48,6 +49,9 @@ __all__ = [
     "vqe_workload",
     "h2_workload",
     "qnn_workload",
+    "ghz_workload",
+    "ghz_circuit",
+    "ghz_observable",
     "maxcut_value",
     "best_sampled_cut",
     "HybridRunner",

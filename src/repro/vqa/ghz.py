@@ -1,0 +1,60 @@
+"""GHZ state-preparation workload — the wide-Clifford benchmark family.
+
+``ghz_workload(n)`` prepares the n-qubit GHZ state with one Hadamard
+and a CNOT chain and scores it with the nearest-neighbour correlation
+witness ``sum_i Z_i Z_{i+1}``.  Every gate is Clifford and the circuit
+has *zero* variational parameters, so:
+
+* the execution planner classifies it ``clifford`` and routes it to
+  the stabilizer tableau — exact at 64-320+ qubits, the widths the
+  paper evaluates and the statevector backend cannot touch;
+* the exact energy is known in closed form: every sampled bitstring is
+  all-zeros or all-ones, each giving ``+1`` per ZZ term, so a correct
+  exact backend reports ``n - 1`` with **zero** shot noise — the
+  end-to-end exactness litmus the planner benchmarks gate on;
+* the hybrid loop degenerates to repeated evaluation (0-dimensional
+  parameter space), which exercises the full
+  engine/runner/service plumbing without optimizer noise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.pauli import PauliString, PauliSum
+from repro.vqa.qaoa import VqaWorkload
+
+
+def ghz_observable(n_qubits: int) -> PauliSum:
+    """Nearest-neighbour witness ``sum_i Z_i Z_{i+1}`` (single
+    qubit-wise-commuting measurement group; GHZ value exactly
+    ``n_qubits - 1``)."""
+    if n_qubits < 2:
+        raise ValueError(f"need at least 2 qubits, got {n_qubits}")
+    terms: List[Tuple[float, PauliString]] = [
+        (1.0, PauliString({i: "Z", i + 1: "Z"})) for i in range(n_qubits - 1)
+    ]
+    return PauliSum(terms)
+
+
+def ghz_circuit(n_qubits: int) -> QuantumCircuit:
+    """H on qubit 0 + a CNOT chain: ``(|0...0> + |1...1>)/sqrt(2)``."""
+    if n_qubits < 2:
+        raise ValueError(f"need at least 2 qubits, got {n_qubits}")
+    circuit = QuantumCircuit(n_qubits, name=f"ghz_{n_qubits}")
+    circuit.h(0)
+    for qubit in range(n_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def ghz_workload(n_qubits: int) -> VqaWorkload:
+    """The parameter-free wide-Clifford workload (see module docstring)."""
+    return VqaWorkload(
+        name="ghz",
+        n_qubits=n_qubits,
+        ansatz=ghz_circuit(n_qubits),
+        parameters=[],
+        observable=ghz_observable(n_qubits),
+    )

@@ -115,6 +115,55 @@ class TestCommands:
         assert "rocket" in capsys.readouterr().out
 
 
+class TestBackendSelection:
+    def test_backend_defaults_to_auto(self):
+        assert build_parser().parse_args(["run", "qaoa"]).backend == "auto"
+        assert build_parser().parse_args(["submit", "qaoa"]).backend == "auto"
+
+    @pytest.mark.parametrize("name", ["statevector", "stabilizer", "product"])
+    def test_backend_choices_accepted(self, name):
+        args = build_parser().parse_args(["run", "qaoa", "--backend", name])
+        assert args.backend == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "qaoa", "--backend", "tensor"])
+
+    def test_run_ghz_wide_exact(self, capsys):
+        # 24 qubits: far beyond the statevector limit, exact on the
+        # stabilizer tableau via the planner — and quiet about it (no
+        # wide-circuit approximation warning applies to Clifford jobs).
+        code = main([
+            "run", "ghz", "--qubits", "24", "--iterations", "1",
+            "--shots", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best cost: +23.0000" in out
+
+    def test_run_forced_stabilizer_skips_warning(self, capsys):
+        code = main([
+            "run", "ghz", "--qubits", "24", "--iterations", "1",
+            "--shots", "50", "--backend", "stabilizer",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "falls back to the product state" not in captured.err
+        assert "best cost: +23.0000" in captured.out
+
+    def test_submit_carries_backend_to_jobs_file(self, tmp_path):
+        jobs_file = tmp_path / "jobs.json"
+        code = main([
+            "submit", "ghz", "--qubits", "8", "--shots", "40",
+            "--iterations", "1", "--backend", "stabilizer",
+            "--jobs-file", str(jobs_file),
+        ])
+        assert code == 0
+        entries = json.loads(jobs_file.read_text())
+        assert entries[0]["backend"] == "stabilizer"
+        assert entries[0]["workload"] == "ghz"
+
+
 class TestServiceCommands:
     def _submit(self, jobs_file, tenant, seed, workload="vqe"):
         return main([

@@ -13,7 +13,13 @@ class TestSamplerBackendSelection:
 
     def test_wide_circuits_use_product_state(self):
         sampler = Sampler(exact_limit=10)
-        assert sampler.backend_for(QuantumCircuit(40)).name == "product-state"
+        qc = QuantumCircuit(40).rx(0.3, 0)  # non-Clifford: no exact backend
+        assert sampler.backend_for(qc).name == "product-state"
+
+    def test_wide_clifford_circuits_use_stabilizer(self):
+        sampler = Sampler(exact_limit=10)
+        qc = QuantumCircuit(40).h(0).cx(0, 1)
+        assert sampler.backend_for(qc).name == "stabilizer"
 
     def test_force_backend(self):
         sampler = Sampler(force_backend="product")

@@ -414,6 +414,36 @@ class TestServiceTelemetry:
         families = parse_prometheus_text(to_prometheus_text(registry))
         assert "repro_service_job_latency_s" in families
 
+    def test_planner_and_stabilizer_metrics_round_trip(self):
+        """register_service pulls the process-wide planner/stabilizer
+        counters in; they must survive the Prometheus round trip."""
+        registry, _events, _service, _batch = _seeded_run()
+        families = parse_prometheus_text(to_prometheus_text(registry))
+        for name in (
+            "repro_planner_decisions",
+            "repro_planner_forced",
+            "repro_stabilizer_tableau_runs",
+            "repro_stabilizer_shots_sampled",
+        ):
+            assert name in families, name
+
+    def test_planner_collectors_not_double_registered(self):
+        """One registry hosting both an engine and a service must count
+        the global planner/stabilizer groups exactly once."""
+        from repro.planner import PLANNER_STATS
+        from repro.telemetry import register_planner
+
+        registry = MetricsRegistry()
+        register_planner(registry)
+        register_planner(registry)
+        value = PLANNER_STATS.counter("decisions").value
+        hits = [
+            collector()["planner.decisions"]
+            for collector in registry._collectors
+            if "planner.decisions" in collector()
+        ]
+        assert hits == [float(value)]  # exactly one collector, live value
+
     def test_events_cover_lifecycle(self):
         _registry, events, _service, _batch = _seeded_run()
         kinds = {event["kind"] for event in events.events}
