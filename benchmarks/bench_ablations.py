@@ -11,9 +11,8 @@ asserts but does not isolate:
   pulse-generation time scale from 1 to 16 PGUs?
 """
 
-import pytest
 
-from common import WORKLOADS, emit, run_campaign, scaled_config
+from common import WORKLOADS, emit, scaled_config
 from repro import HybridRunner, QtenonSystem
 from repro.analysis import format_table, format_time_ps
 from repro.core import QtenonConfig

@@ -7,9 +7,8 @@ Fig. 13a) is dominated by communication + host computation, with
 quantum at 7.9%.
 """
 
-import pytest
 
-from common import SHOTS, WORKLOADS, emit, run_campaign
+from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table
 
 #: (algorithm, qubits) pairs from Fig. 1(a).

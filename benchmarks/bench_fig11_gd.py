@@ -9,7 +9,6 @@ Paper values (64 qubits, vs the decoupled baseline):
   Boom-based Qtenon.
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, geometric_mean

@@ -6,7 +6,6 @@ Paper values (64 qubits): end-to-end speedups 14.9x (QAOA), 11.5x
 is heavier while its communication rounds are fewer.
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, geometric_mean

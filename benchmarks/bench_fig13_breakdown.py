@@ -8,7 +8,6 @@ shrinks total time, and the quantum share climbs from a small minority
 to ~90%.
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, format_time_ps

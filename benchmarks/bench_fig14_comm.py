@@ -11,7 +11,6 @@ Paper values:
   denser parameter updates make it slower than QAOA (10 us vs 1.6 us).
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, format_time_ps

@@ -7,7 +7,6 @@ identical — the gain comes from eliminating recompilation, not from
 core microarchitecture.
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, format_time_ps

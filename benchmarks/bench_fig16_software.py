@@ -8,7 +8,6 @@
     for QAOA / VQE / QNN.
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, format_time_ps

@@ -8,7 +8,6 @@ controller cache grows linearly (22.63 MB at 256 qubits — checked in
 the Table 2 bench).
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table, format_time_ps

@@ -8,16 +8,14 @@ Paper values for the 64-qubit, 5-layer, 10-iteration GD QAOA scenario:
 * recompile overhead: 1–100 ms (decoupled) vs 10–100 ns (Qtenon).
 """
 
-import pytest
 
-from common import SHOTS, WORKLOADS, emit, run_campaign, scaled_config
-from repro import QtenonSystem
-from repro.analysis import format_table, format_time_ps
+from common import SHOTS, WORKLOADS, emit, run_campaign
+from repro.analysis import format_table
 from repro.baseline import UDP_100GBE
 from repro.core.scheduler import shot_record_bytes
 from repro.host import BOOM_LARGE, INTEL_I9
 from repro.host.workloads import HostWorkloadModel
-from repro.sim.kernel import ms, ns, to_ns
+from repro.sim.kernel import ms, to_ns
 
 ITERATIONS = 10  # the Table 1 scenario runs the full ten iterations
 

@@ -17,7 +17,6 @@ speedup additionally benefits from 8 parallel PGUs vs the baseline
 FPGA's sequential generation.
 """
 
-import pytest
 
 from common import WORKLOADS, emit, run_campaign
 from repro.analysis import format_table

@@ -17,7 +17,6 @@ paper's evaluation (§7).  The conventions:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np

@@ -15,7 +15,6 @@ from repro.compiler import lower, transpile
 from repro.core import QtenonConfig, QuantumController
 from repro.isa import (
     QAcquire,
-    QSet,
     QUpdate,
     assemble,
     decode_instruction,

@@ -12,7 +12,6 @@ many more evaluation rounds, SPSA fewer but heavier updates.
 Run with:  python examples/qnn_classifier.py
 """
 
-import numpy as np
 
 from repro import HybridRunner, QtenonSystem
 from repro.analysis import format_table, format_time_ps

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.breakdown import CATEGORIES, ExecutionReport, TimeBreakdown
 

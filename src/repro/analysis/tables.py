@@ -7,7 +7,7 @@ helpers here are deliberately plain-text (no plotting dependencies).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def format_table(

@@ -11,7 +11,7 @@ Table 1's 1–100 ms recompilation band for 64-qubit workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.compiler.qasm import emit_qasm, static_instruction_count
 from repro.host.workloads import HostWorkloadModel

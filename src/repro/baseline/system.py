@@ -15,7 +15,6 @@ the :class:`~repro.vqa.runner.HybridRunner` drive both identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.breakdown import ExecutionReport

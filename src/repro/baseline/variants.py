@@ -22,7 +22,6 @@ accordingly and attach the variant's instruction-density model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.baseline.network import ETHERNET_1GBE, LinkModel, UDP_100GBE, USB
 from repro.baseline.system import DecoupledSystem

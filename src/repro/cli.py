@@ -36,7 +36,7 @@ from repro import (
     QtenonSystem,
     __version__,
 )
-from repro.analysis import format_table, format_time_ps
+from repro.analysis import format_table
 from repro.core import QtenonConfig
 from repro.host import core_by_name
 from repro.service import JobSpec, ServiceAPI, ServiceConfig
@@ -321,6 +321,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full campaign JSON to this path",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="fault-tolerant master/worker cluster mode (see DESIGN.md)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    local = cluster_sub.add_parser(
+        "local",
+        help="run a deterministic in-process multi-node cluster over a "
+             "job file (supports scripted node faults)",
+    )
+    local.add_argument("--jobs", required=True, help="JSON job file (see submit)")
+    local.add_argument(
+        "--nodes", type=_positive_int, default=3, help="worker node count"
+    )
+    local.add_argument(
+        "--node-capacity", type=_positive_int, default=1,
+        help="concurrent jobs per node",
+    )
+    local.add_argument(
+        "--rounds", type=_positive_int, default=200,
+        help="maximum harness rounds before giving up",
+    )
+    local.add_argument(
+        "--journal", default=None,
+        help="durable job journal path (replayed if it already exists)",
+    )
+    local.add_argument("--timing-only", action="store_true")
+    local.add_argument("--core", default="boom-large")
+    for kind in ("kill", "hang", "partition"):
+        local.add_argument(
+            f"--{kind}", action="append", default=None, metavar="NODE:AFTER[:ROUNDS]",
+            help=f"script a node {kind} after N completions "
+                 "(repeatable, e.g. node-1:2)",
+        )
+    local.add_argument(
+        "--metrics-out", default=None,
+        help="write the JSON cluster metrics snapshot to this path",
+    )
+
+    cm = cluster_sub.add_parser(
+        "master",
+        help="serve a cluster master on TCP: wait for workers, dispatch a "
+             "job file, print outcomes",
+    )
+    cm.add_argument("--jobs", required=True, help="JSON job file (see submit)")
+    cm.add_argument("--host", default="127.0.0.1")
+    cm.add_argument(
+        "--port", type=_nonnegative_int, default=0,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    cm.add_argument(
+        "--nodes", type=_positive_int, default=1,
+        help="worker nodes to wait for before dispatching",
+    )
+    cm.add_argument(
+        "--wait-timeout", type=_positive_float, default=60.0,
+        help="seconds to wait for workers to join",
+    )
+    cm.add_argument(
+        "--drain-timeout", type=_positive_float, default=600.0,
+        help="seconds to wait for all jobs to settle",
+    )
+    cm.add_argument(
+        "--lease-timeout", type=_positive_float, default=3.0,
+        help="heartbeat lease in seconds; a silent node loses its jobs",
+    )
+    cm.add_argument(
+        "--dispatch-timeout", type=_positive_float, default=120.0,
+        help="seconds a job may sit on a node before it is reaped",
+    )
+    cm.add_argument("--journal", default=None, help="durable job journal path")
+    cm.add_argument("--metrics-out", default=None)
+
+    cw = cluster_sub.add_parser(
+        "worker", help="run one worker node against a cluster master"
+    )
+    cw.add_argument("--host", default="127.0.0.1")
+    cw.add_argument("--port", type=_positive_int, required=True)
+    cw.add_argument("--node-id", required=True)
+    cw.add_argument(
+        "--capacity", type=_positive_int, default=1,
+        help="concurrent jobs this node advertises",
+    )
+    cw.add_argument(
+        "--engine-workers", type=_positive_int, default=1,
+        help="shared-memory pool workers inside each job's engine",
+    )
+    cw.add_argument(
+        "--cache-size", type=_nonnegative_int, default=4096,
+        help="node-local eval-cache entries (0 = off)",
+    )
+    cw.add_argument("--timing-only", action="store_true")
+    cw.add_argument("--core", default="boom-large")
+
     sub.add_parser("info", help="print version and model constants")
     return parser
 
@@ -433,9 +528,14 @@ def _load_job_file(path: str) -> List[Tuple[str, JobSpec]]:
     submissions: List[Tuple[str, JobSpec]] = []
     for index, entry in enumerate(entries):
         try:
-            tenant = str(entry.get("tenant", "default"))
-            submissions.append((tenant, JobSpec.from_dict(entry)))
-        except (AttributeError, TypeError, ValueError) as exc:
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"expected a JSON object, got {type(entry).__name__}"
+                )
+            payload = dict(entry)
+            tenant = str(payload.pop("tenant", "default"))
+            submissions.append((tenant, JobSpec.from_dict(payload)))
+        except ValueError as exc:
             raise ValueError(f"job file entry #{index} is invalid: {exc}") from exc
     return submissions
 
@@ -663,6 +763,182 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# cluster commands
+# ----------------------------------------------------------------------
+def _parse_node_events(args) -> Optional[tuple]:
+    """--kill/--hang/--partition NODE:AFTER[:ROUNDS] flags -> events."""
+    events = []
+    for kind in ("kill", "hang", "partition"):
+        for text in getattr(args, kind) or ():
+            parts = text.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"--{kind} expects NODE:AFTER[:ROUNDS], got {text!r}"
+                )
+            node_id = parts[0]
+            try:
+                after = int(parts[1])
+                duration = int(parts[2]) if len(parts) == 3 else 0
+            except ValueError:
+                raise ValueError(
+                    f"--{kind} expects integer AFTER/ROUNDS, got {text!r}"
+                ) from None
+            events.append((kind, node_id, after, duration))
+    return tuple(events) if events else None
+
+
+def _print_cluster_outcomes(master, submissions, outcomes) -> None:
+    for (tenant, _spec), outcome in zip(submissions, outcomes):
+        if not outcome.accepted:
+            rejection = outcome.rejection
+            print(
+                f"rejected   tenant={tenant} [{rejection.code}] "
+                f"{rejection.message}"
+            )
+            continue
+        status = master.status(outcome.job_id)
+        line = (
+            f"{outcome.job_id} [{status['state']}] tenant={tenant} "
+            f"node={status['node']} attempts={status['attempts']}"
+        )
+        if status["error"]:
+            line += f" error={status['error']}"
+        print(line)
+
+
+def _print_cluster_summary(snapshot) -> None:
+    counters = snapshot["cluster"]
+    jobs = snapshot["jobs_by_state"]
+    print(
+        f"\njobs: {jobs}; dispatched {counters.get('cluster.dispatched', 0)}, "
+        f"redispatches {counters.get('cluster.redispatches', 0)}, "
+        f"nodes lost {counters.get('cluster.nodes_lost', 0)}, "
+        f"duplicate results {counters.get('cluster.duplicate_results', 0)}"
+    )
+
+
+def cmd_cluster(args) -> int:
+    from repro.cluster import ClusterConfig, ClusterMaster, LocalCluster, MasterServer
+    from repro.cluster import run_worker as run_worker_node
+
+    if args.cluster_command == "worker":
+        print(
+            f"worker {args.node_id} -> {args.host}:{args.port} "
+            f"(capacity {args.capacity})",
+            flush=True,
+        )
+        executed = run_worker_node(
+            args.host,
+            args.port,
+            args.node_id,
+            capacity=args.capacity,
+            core=args.core,
+            timing_only=args.timing_only,
+            cache_entries=args.cache_size,
+            engine_workers=args.engine_workers,
+        )
+        print(f"worker {args.node_id} drained after {executed} jobs")
+        return 0
+
+    try:
+        submissions = _load_job_file(args.jobs)
+    except FileNotFoundError:
+        print(f"error: job file {args.jobs!r} not found", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not submissions:
+        print(f"error: job file {args.jobs!r} holds no requests", file=sys.stderr)
+        return 1
+
+    if args.cluster_command == "local":
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, NodeFaults
+
+        try:
+            events = _parse_node_events(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        injector = None
+        if events:
+            injector = FaultInjector(FaultPlan(node=NodeFaults(events=events)))
+        cluster = LocalCluster(
+            n_nodes=args.nodes,
+            injector=injector,
+            node_capacity=args.node_capacity,
+            core=args.core,
+            timing_only=args.timing_only,
+            config=None if args.journal is None else ClusterConfig(
+                journal_path=args.journal
+            ),
+        )
+        outcomes = [
+            cluster.submit(spec, tenant) for tenant, spec in submissions
+        ]
+        settled = cluster.run(max_rounds=args.rounds)
+        _print_cluster_outcomes(cluster.master, submissions, outcomes)
+        snapshot = cluster.metrics_snapshot()
+        _print_cluster_summary(snapshot)
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"metrics -> {args.metrics_out}")
+        cluster.close()
+        if not settled:
+            print(
+                f"error: jobs still open after {args.rounds} rounds",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # cluster master
+    master = ClusterMaster(
+        ClusterConfig(
+            lease_timeout_s=args.lease_timeout,
+            dispatch_timeout_s=args.dispatch_timeout,
+            journal_path=args.journal,
+        )
+    )
+    server = MasterServer(master, host=args.host, port=args.port).start()
+    # flush: operators (and the scaling bench) scrape this line for the
+    # ephemeral port before wiring workers up.
+    print(f"master listening on {server.host}:{server.port}", flush=True)
+    try:
+        if not server.wait_for_nodes(args.nodes, timeout_s=args.wait_timeout):
+            print(
+                f"error: {args.nodes} workers did not join within "
+                f"{args.wait_timeout}s",
+                file=sys.stderr,
+            )
+            return 1
+        outcomes = [
+            server.submit(spec, tenant) for tenant, spec in submissions
+        ]
+        drained = server.drain(timeout_s=args.drain_timeout)
+        _print_cluster_outcomes(master, submissions, outcomes)
+        snapshot = server.metrics_snapshot()
+        _print_cluster_summary(snapshot)
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"metrics -> {args.metrics_out}")
+        if not drained:
+            print(
+                f"error: jobs still open after {args.drain_timeout}s",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    finally:
+        server.shutdown()
+
+
 def cmd_info(_args) -> int:
     from repro.quantum.gates import MEASUREMENT_NS, ONE_QUBIT_NS, TWO_QUBIT_NS
 
@@ -697,6 +973,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_telemetry(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "cluster":
+        return cmd_cluster(args)
     return cmd_info(args)
 
 

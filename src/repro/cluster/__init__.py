@@ -1,0 +1,41 @@
+"""Fault-tolerant cluster mode: master/worker sharding of the job tier.
+
+One master owns admission, the durable job journal and deficit-round-
+robin fair share; N worker nodes each run an evaluation engine behind
+a node-local cache.  Dispatch is at-least-once over heartbeat leases
+— safe because content-derived sampler seeds make re-execution
+bit-identical and settlement is idempotent.  See DESIGN.md ("Cluster
+mode") for the full reliability argument.
+"""
+
+from repro.cluster.executor import execute_spec, result_fingerprint
+from repro.cluster.harness import LocalCluster, ManualClock
+from repro.cluster.hashring import rank_nodes
+from repro.cluster.journal import (
+    JobJournal,
+    JournalCorrupt,
+    JournalState,
+    replay_journal,
+)
+from repro.cluster.master import ClusterConfig, ClusterJob, ClusterMaster, NodeHandle
+from repro.cluster.server import MasterServer
+from repro.cluster.worker import WorkerNode, run_worker
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterJob",
+    "ClusterMaster",
+    "JobJournal",
+    "JournalCorrupt",
+    "JournalState",
+    "LocalCluster",
+    "ManualClock",
+    "MasterServer",
+    "NodeHandle",
+    "WorkerNode",
+    "execute_spec",
+    "rank_nodes",
+    "replay_journal",
+    "result_fingerprint",
+    "run_worker",
+]

@@ -1,0 +1,41 @@
+"""Rendezvous (highest-random-weight) routing of jobs to nodes.
+
+Jobs are routed by their spec's content digest, so repeated
+submissions of the same computation land on the same node and hit its
+warm :class:`~repro.runtime.cache.EvalCache`.  Rendezvous hashing
+gives that affinity without a ring to rebalance: every (digest, node)
+pair gets a deterministic weight, and the node ranking for a digest is
+simply the nodes sorted by weight.  When a node joins or leaves, only
+the digests whose *top* node changed move — the minimal-disruption
+property that keeps caches warm through membership churn.
+
+The master walks the ranking in order and takes the first node that is
+alive, healthy and under capacity; how far it is allowed to walk is
+the *spill bound* (``ClusterConfig.spill_limit``) — routing stays
+cache-local under a single failure but degenerates to least-loaded
+scatter under none.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+
+def node_weight(digest: str, node_id: str) -> int:
+    """Deterministic rendezvous weight of one (digest, node) pair."""
+    payload = f"{digest}|{node_id}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big"
+    )
+
+
+def rank_nodes(digest: str, node_ids: Iterable[str]) -> List[str]:
+    """All nodes ordered by preference for ``digest`` (best first).
+
+    Ties (same weight — astronomically unlikely, but the sort must be
+    total) break on node id so every master ranks identically.
+    """
+    return sorted(
+        node_ids, key=lambda node_id: (-node_weight(digest, node_id), node_id)
+    )

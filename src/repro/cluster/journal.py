@@ -1,0 +1,182 @@
+"""Durable append-only job journal: accepted jobs are never forgotten.
+
+The master writes one self-checking line per lifecycle edge::
+
+    <adler32-hex8> {"kind": "accepted", "job_id": ..., "digest": ..., ...}
+
+* ``accepted``   — admission granted; carries tenant + the full spec
+  dict and the spec's content digest (the idempotency key);
+* ``dispatched`` — handed to a node (attempt count rides along);
+* ``settled``    — terminal state reached (``done``/``failed``/...),
+  with the result's content fingerprint for ``done``.
+
+Replay (:func:`replay_journal`) reconstructs the set of **open** jobs —
+accepted but never settled — which a restarting master re-admits, so a
+master crash between acceptance and completion loses nothing.  Replay
+is idempotent by construction: duplicate ``settled`` records for one
+job id collapse, and re-executing a replayed job is bit-identical
+because the spec digest pins the content-derived sampler seeds.
+
+Torn writes are expected (the process died mid-``append``): a corrupt
+or truncated **final** record is discarded with a counter.  A corrupt
+record *followed by valid ones* is genuine file damage and raises
+:class:`JournalCorrupt` — silently skipping mid-file records could
+resurrect a settled job or drop an accepted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.faults.protocol import checksum32
+
+#: Lifecycle edges the journal records.
+KINDS = ("accepted", "dispatched", "settled")
+
+
+class JournalCorrupt(ValueError):
+    """Mid-file journal damage (not a recoverable torn tail)."""
+
+
+def _encode_line(record: Dict[str, object]) -> bytes:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = checksum32(body.encode())
+    return f"{crc:08x} {body}\n".encode()
+
+
+def _decode_line(line: bytes) -> Optional[Dict[str, object]]:
+    """One validated record, or ``None`` when the line is damaged."""
+    text = line.decode("utf-8", errors="replace").rstrip("\n")
+    if len(text) < 10 or text[8] != " ":
+        return None
+    try:
+        crc = int(text[:8], 16)
+    except ValueError:
+        return None
+    body = text[9:]
+    if checksum32(body.encode()) != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or record.get("kind") not in KINDS:
+        return None
+    return record
+
+
+class JobJournal:
+    """Append-only writer.  ``fsync=True`` makes each record durable
+    against power loss; ``False`` still survives process crashes (the
+    OS holds the page cache) and is what the deterministic tests use."""
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "ab")
+        self.appended = 0
+
+    def append(self, kind: str, **fields: object) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown journal kind {kind!r}; expected {KINDS}")
+        self._handle.write(_encode_line({"kind": kind, **fields}))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_records(path: str) -> Iterator[Tuple[int, Optional[Dict[str, object]]]]:
+    """Yield ``(line_number, record-or-None)`` — None marks damage."""
+    with open(path, "rb") as handle:
+        for line_number, line in enumerate(handle):
+            yield line_number, _decode_line(line)
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal says about the world."""
+
+    #: job_id -> {"tenant", "spec", "digest"} in acceptance order.
+    accepted: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: job_id -> last node the job was dispatched to.
+    dispatched: Dict[str, str] = field(default_factory=dict)
+    #: job_id -> {"state", "fingerprint", ...} of the first settlement.
+    settled: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: settled records for already-settled jobs (idempotently dropped).
+    duplicate_settlements: int = 0
+    #: 1 when a torn final record was discarded.
+    torn_tail: int = 0
+
+    @property
+    def open_jobs(self) -> List[str]:
+        """Accepted jobs with no terminal record, in acceptance order."""
+        return [
+            job_id for job_id in self.accepted if job_id not in self.settled
+        ]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "accepted": len(self.accepted),
+            "settled": len(self.settled),
+            "open": len(self.open_jobs),
+            "duplicate_settlements": self.duplicate_settlements,
+            "torn_tail": self.torn_tail,
+        }
+
+
+def replay_journal(path: str) -> JournalState:
+    """Reconstruct journal state, tolerating exactly one torn tail."""
+    state = JournalState()
+    damaged_at: Optional[int] = None
+    for line_number, record in iter_records(path):
+        if record is None:
+            if damaged_at is not None:
+                raise JournalCorrupt(
+                    f"{path}: damaged records at lines {damaged_at} and "
+                    f"{line_number}"
+                )
+            damaged_at = line_number
+            continue
+        if damaged_at is not None:
+            raise JournalCorrupt(
+                f"{path}: damaged record at line {damaged_at} is followed "
+                f"by valid records — mid-file corruption, not a torn write"
+            )
+        kind = record["kind"]
+        job_id = str(record.get("job_id", ""))
+        if kind == "accepted":
+            state.accepted[job_id] = {
+                "tenant": record.get("tenant", "default"),
+                "spec": record.get("spec", {}),
+                "digest": record.get("digest", ""),
+            }
+        elif kind == "dispatched":
+            state.dispatched[job_id] = str(record.get("node", ""))
+        elif kind == "settled":
+            if job_id in state.settled:
+                state.duplicate_settlements += 1
+            else:
+                state.settled[job_id] = {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("kind", "job_id")
+                }
+    if damaged_at is not None:
+        state.torn_tail = 1
+    return state

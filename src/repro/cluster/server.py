@@ -1,0 +1,201 @@
+"""Threaded socket front-end for the cluster master.
+
+:class:`MasterServer` owns the listening socket and three kinds of
+threads — an acceptor, one reader per worker connection, and a ticker
+that drives :meth:`ClusterMaster.tick` on a fixed cadence.  Every
+touch of the master state machine happens under one lock: the machine
+itself stays single-threaded (and therefore identical to the one the
+deterministic harness exercises), the server is just its mailroom.
+
+A connection error or close is reported to the master as a node loss;
+lease expiry catches the cases TCP never reports (silent partition,
+frozen peer).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.cluster import wire
+from repro.cluster.master import ClusterMaster
+
+DEFAULT_TICK_INTERVAL_S = 0.1
+
+
+class MasterServer:
+    """Serve one :class:`ClusterMaster` over TCP."""
+
+    def __init__(
+        self,
+        master: ClusterMaster,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval_s: float = DEFAULT_TICK_INTERVAL_S,
+    ) -> None:
+        self.master = master
+        self.tick_interval_s = tick_interval_s
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()[:2]
+        #: node_id -> (socket, per-connection sequence stamper)
+        self._links: Dict[str, Tuple[socket.socket, wire.MessageWriter]] = {}
+        self._threads: list = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MasterServer":
+        for target in (self._accept_loop, self._tick_loop):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._reader, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _reader(self, conn: socket.socket) -> None:
+        decoder = wire.FrameDecoder()
+        node_id: Optional[str] = None
+        try:
+            while not self._stop.is_set():
+                messages = wire.recv_frames(conn, decoder)
+                if messages is None:
+                    break
+                for message in messages:
+                    node_id = self._handle(conn, message, node_id)
+        except (OSError, wire.WireError):
+            pass
+        finally:
+            if node_id is not None:
+                with self._lock:
+                    self._links.pop(node_id, None)
+                    self.master.node_lost(node_id)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(
+        self,
+        conn: socket.socket,
+        message: Dict[str, object],
+        node_id: Optional[str],
+    ) -> Optional[str]:
+        kind = message["type"]
+        with self._lock:
+            if kind == wire.MSG_HELLO:
+                node_id = str(message["node_id"])
+                self.master.register_node(node_id, int(message["capacity"]))
+                self._links[node_id] = (conn, wire.MessageWriter())
+            elif kind == wire.MSG_HEARTBEAT:
+                self.master.heartbeat(str(message["node_id"]))
+            elif kind == wire.MSG_RESULT:
+                self.master.handle_result(
+                    str(message["node_id"]),
+                    str(message["job_id"]),
+                    dict(message["payload"]),
+                )
+            elif kind == wire.MSG_ERROR:
+                self.master.handle_error(
+                    str(message["node_id"]),
+                    str(message["job_id"]),
+                    str(message.get("error", "worker error")),
+                )
+        return node_id
+
+    def _tick_loop(self) -> None:
+        while not self._stop.wait(self.tick_interval_s):
+            self.tick_once()
+
+    def tick_once(self) -> None:
+        """One master tick plus delivery of its dispatches."""
+        with self._lock:
+            outbox = self.master.tick()
+            for target_node, message in outbox:
+                link = self._links.get(target_node)
+                if link is None:
+                    # Connection vanished between tick and delivery:
+                    # treat as a node loss so the job is redispatched.
+                    self.master.node_lost(target_node)
+                    continue
+                sock, writer = link
+                try:
+                    sock.sendall(writer.encode(message))
+                except OSError:
+                    self._links.pop(target_node, None)
+                    self.master.node_lost(target_node)
+
+    # ------------------------------------------------------------------
+    def wait_for_nodes(self, count: int, timeout_s: float = 30.0) -> bool:
+        """Block until ``count`` workers said hello (or timeout)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                alive = sum(1 for h in self.master.nodes.values() if h.alive)
+            if alive >= count:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def submit_dict(self, payload, tenant: str = "default"):
+        with self._lock:
+            return self.master.submit_dict(payload, tenant)
+
+    def submit(self, spec, tenant: str = "default"):
+        with self._lock:
+            return self.master.submit(spec, tenant)
+
+    def drain(self, timeout_s: float = 300.0) -> bool:
+        """Block until every accepted job settles (or timeout)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                done = self.master.all_settled
+            if done:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def metrics_snapshot(self):
+        with self._lock:
+            return self.master.metrics_snapshot()
+
+    def shutdown(self) -> None:
+        """Tell workers to drain, then stop serving."""
+        with self._lock:
+            for node_id, (sock, writer) in list(self._links.items()):
+                try:
+                    sock.sendall(writer.encode(wire.shutdown()))
+                except OSError:
+                    pass
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            for _node_id, (sock, _writer) in list(self._links.items()):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._links.clear()
+        self.master.close()

@@ -15,7 +15,7 @@ iteration — is modelled in :mod:`repro.baseline.jit`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.lowering import LoweredGate, QtenonProgram

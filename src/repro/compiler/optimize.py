@@ -16,8 +16,7 @@ preserves the statevector up to global phase (asserted by tests).
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.quantum.circuit import Operation, QuantumCircuit
 from repro.quantum.parameters import (

@@ -19,7 +19,6 @@ statevector-equivalence-up-to-global-phase tests.
 from __future__ import annotations
 
 import math
-from typing import List
 
 from repro.quantum.circuit import Operation, QuantumCircuit
 from repro.quantum.gates import NATIVE_GATES

@@ -22,9 +22,8 @@ For race 2 the paper contrasts two mechanisms, both modelled here:
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.sim.clock import HOST_CLOCK, Clock
 from repro.sim.stats import StatGroup

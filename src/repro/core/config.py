@@ -14,7 +14,7 @@ pulse segments at ``0x80000``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.isa.program import ENTRY_BITS

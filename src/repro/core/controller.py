@@ -10,9 +10,8 @@ model can place it on the global timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.compiler.lowering import LoweredGate, QtenonProgram, WORDS_PER_ENTRY
 from repro.core.barrier import MemoryBarrier
@@ -34,7 +33,6 @@ from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.device import QuantumDevice
 from repro.quantum.sampler import Sampler
 from repro.sim.clock import HOST_CLOCK
-from repro.sim.kernel import ns
 from repro.sim.stats import StatGroup
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import

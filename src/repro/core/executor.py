@@ -16,7 +16,7 @@ the functional simulation side).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.core.controller import QuantumController, RunResult
 from repro.isa.assembler import MachineTriple

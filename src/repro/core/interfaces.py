@@ -19,9 +19,9 @@ Three hardware structures sit between the controller and the host:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
-from repro.memory.tilelink import TileLinkBus, TileLinkTransaction
+from repro.memory.tilelink import TileLinkBus
 from repro.sim.clock import HOST_CLOCK, Clock
 from repro.sim.stats import StatGroup
 

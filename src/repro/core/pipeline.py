@@ -18,8 +18,8 @@ availability gates progress exactly as the priority encoder would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.config import QtenonConfig
 from repro.core.qcc import PulseRecord, QuantumControllerCache

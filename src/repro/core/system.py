@@ -32,10 +32,10 @@ exactly and tests assert it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from repro.analysis.breakdown import ExecutionReport, TimeBreakdown
+from repro.analysis.breakdown import ExecutionReport
 from repro.analysis.trace import TraceRecorder
 from repro.compiler.incremental import IncrementalCompiler, UpdatePlan
 from repro.compiler.lowering import QtenonProgram, WORDS_PER_ENTRY, lower

@@ -27,6 +27,8 @@ from repro.faults.plan import (
     InjectedWorkerHang,
     LinkFaults,
     MeasurementFaults,
+    NODE_FAULT_KINDS,
+    NodeFaults,
     ReadoutDriftFaults,
     WorkerFaults,
     loss_sweep_plans,
@@ -49,6 +51,8 @@ __all__ = [
     "LinkDecision",
     "LinkFaults",
     "MeasurementFaults",
+    "NODE_FAULT_KINDS",
+    "NodeFaults",
     "PutDecision",
     "PutFramer",
     "PutVerifier",

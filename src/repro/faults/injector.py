@@ -159,6 +159,26 @@ class FaultInjector:
         )
 
     # ------------------------------------------------------------------
+    # cluster nodes
+    # ------------------------------------------------------------------
+    def node_fate(
+        self, node_id: str, completions: int
+    ) -> Optional["tuple[str, int]"]:
+        """Scheduled fate of a cluster node after ``completions`` jobs.
+
+        Returns ``(kind, duration_rounds)`` when the plan scripts a
+        fault for this node at exactly this completion count, else
+        ``None``.  Pure lookup into the plan — no RNG draw — so the
+        same plan fells the same node at the same campaign point no
+        matter how dispatches interleave.
+        """
+        for kind, after, duration in self.plan.node.for_node(node_id):
+            if after == completions:
+                self.stats.counter(f"node_{kind}s").increment()
+                return kind, duration
+        return None
+
+    # ------------------------------------------------------------------
     # workers (runtime pool + service slots)
     # ------------------------------------------------------------------
     def worker_event(self, site: str, *content: object) -> Optional[str]:

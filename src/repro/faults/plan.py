@@ -161,6 +161,64 @@ class WorkerFaults:
             raise ValueError("hang_s and slowdown_s must be >= 0")
 
 
+#: Whole-node fates the cluster fault layer can schedule.
+NODE_FAULT_KINDS = ("kill", "hang", "partition")
+
+
+@dataclass(frozen=True)
+class NodeFaults:
+    """Scheduled whole-node failures for the cluster layer.
+
+    Unlike the probabilistic per-dispatch worker faults, node fates are
+    *scripted*: each event is ``(kind, node_id, after_completions,
+    duration_rounds)`` and fires exactly when the named node has
+    completed that many jobs — the determinism the zero-loss chaos
+    proofs are built on (the same plan kills the same node at the same
+    point in the campaign, every run, regardless of interleaving).
+
+    * ``kill`` — the node stops heartbeating and processing; its
+      in-flight jobs are reassigned when the master's lease expires
+      (``duration_rounds`` is ignored — death is forever);
+    * ``hang`` — the node keeps heartbeating (its heartbeat thread is
+      alive) but stops making progress; the master's dispatch timeout
+      reaps it;
+    * ``partition`` — the node keeps executing but messages between it
+      and the master are dropped for ``duration_rounds`` harness
+      rounds; on heal, its stale results exercise the master's
+      duplicate-result idempotency.
+    """
+
+    events: Tuple[Tuple[str, str, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if len(event) != 4:
+                raise ValueError(
+                    f"node fault event must be (kind, node_id, "
+                    f"after_completions, duration_rounds), got {event!r}"
+                )
+            kind, node_id, after, duration = event
+            if kind not in NODE_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown node fault kind {kind!r}; "
+                    f"expected one of {NODE_FAULT_KINDS}"
+                )
+            if not isinstance(node_id, str) or not node_id:
+                raise ValueError(f"node_id must be a non-empty string, got {node_id!r}")
+            if after < 0:
+                raise ValueError(f"after_completions must be >= 0, got {after}")
+            if duration < 0:
+                raise ValueError(f"duration_rounds must be >= 0, got {duration}")
+
+    def for_node(self, node_id: str) -> Tuple[Tuple[str, int, int], ...]:
+        """(kind, after_completions, duration) events for one node."""
+        return tuple(
+            (kind, after, duration)
+            for kind, name, after, duration in self.events
+            if name == node_id
+        )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded fault schedule across all fault classes."""
@@ -170,6 +228,7 @@ class FaultPlan:
     measurement: MeasurementFaults = field(default_factory=MeasurementFaults)
     readout: ReadoutDriftFaults = field(default_factory=ReadoutDriftFaults)
     worker: WorkerFaults = field(default_factory=WorkerFaults)
+    node: NodeFaults = field(default_factory=NodeFaults)
 
     @property
     def is_benign(self) -> bool:
@@ -181,11 +240,12 @@ class FaultPlan:
             and r.rate_per_evaluation == 0.0
             and w.crash_p == w.hang_p == w.slowdown_p == 0.0
             and w.crash_burst == 0
+            and not self.node.events
         )
 
     def _canonical(self) -> str:
         parts = [f"seed={self.seed}"]
-        for section_name in ("link", "measurement", "readout", "worker"):
+        for section_name in ("link", "measurement", "readout", "worker", "node"):
             section = getattr(self, section_name)
             for f in fields(section):
                 parts.append(f"{section_name}.{f.name}={getattr(section, f.name)!r}")

@@ -20,7 +20,7 @@ Integers accept decimal or ``0x`` hex.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.isa.encoding import RoccWord
 from repro.isa.instructions import (

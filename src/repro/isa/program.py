@@ -20,9 +20,7 @@ describes one gate::
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
-from typing import Optional
 
 TYPE_BITS = 4
 REG_FLAG_BITS = 1

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol
+from typing import Dict, Protocol
 
 from repro.sim.stats import StatGroup
 

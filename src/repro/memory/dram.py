@@ -11,7 +11,7 @@ host's post-processing reads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.sim.kernel import ns

@@ -7,7 +7,7 @@ functional :class:`~repro.memory.image.MemoryImage` all data lives in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.memory.cache import Cache, CacheGeometry

@@ -20,7 +20,7 @@ response) in closed form and returns a :class:`TileLinkTransaction`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.sim.clock import HOST_CLOCK, Clock
 from repro.sim.stats import StatGroup

@@ -13,8 +13,8 @@ word.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.quantum.gates import GateSpec, gate_spec
 from repro.quantum.parameters import (

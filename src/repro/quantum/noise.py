@@ -15,7 +15,7 @@ Applied post-sampling, per shot and per qubit, with a seeded RNG.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict
 
 import numpy as np
 

@@ -29,7 +29,7 @@ substitution in DESIGN.md).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional
+from typing import Dict
 
 import numpy as np
 

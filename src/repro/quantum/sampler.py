@@ -10,7 +10,7 @@ qubit-wise-commuting measurement groups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -18,7 +18,7 @@ import numpy as np
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.kernels import CompiledProgram
 from repro.quantum.noise import ReadoutNoise
-from repro.quantum.pauli import MeasurementGroup, PauliSum
+from repro.quantum.pauli import PauliSum
 from repro.quantum.product_state import ProductStateBackend
 from repro.quantum.stabilizer import StabilizerBackend, is_clifford_circuit
 from repro.quantum.statevector import StatevectorBackend

@@ -15,7 +15,7 @@ so basis state ``|q_{n-1} ... q_1 q_0>`` has index ``sum q_i << i``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 

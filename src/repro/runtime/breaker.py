@@ -9,17 +9,24 @@ standard three-state machine:
 * **closed** — pool dispatch allowed; consecutive failures counted;
 * **open** — after ``failure_threshold`` consecutive failures the pool
   is bypassed (serial evaluation) for ``cooldown_s``;
-* **half-open** — after the cooldown, one batch probes the pool: a
-  success closes the breaker (the pool recovered), a failure re-opens
-  it and restarts the cooldown.
+* **half-open** — after the cooldown, exactly **one** probe is
+  admitted at a time: a success closes the breaker (the pool
+  recovered), a failure re-opens it and restarts the cooldown.  While
+  the probe is in flight every other ``allow()`` is refused — without
+  that gate several concurrent callers could all slip through the
+  half-open window, and one slow probe racing one failure flaps the
+  breaker open/closed/open.
 
 Time comes from an injectable ``clock`` so tests and chaos campaigns
-assert recovery through the state machine, never through sleeps.
+assert recovery through the state machine, never through sleeps.  All
+transitions run under an internal lock: the cluster master drives one
+breaker per node from its socket reader threads.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Callable
 
@@ -57,41 +64,63 @@ class CircuitBreaker:
         self.stats = StatGroup("breaker")
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        #: True while a half-open probe is in flight and unresolved.
+        self._probe_in_flight = False
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """May the protected resource be used right now?
 
-        Transitions open → half-open when the cooldown has elapsed; the
-        caller must report the probe's outcome via
-        :meth:`record_success` / :meth:`record_failure`.
+        Transitions open → half-open when the cooldown has elapsed and
+        admits **one** probe: until that probe's outcome is reported via
+        :meth:`record_success` / :meth:`record_failure`, every other
+        ``allow()`` returns False, so concurrent callers cannot pile
+        into the half-open window and flap the breaker.
         """
-        if self.state is BreakerState.OPEN:
-            if self.clock() - self._opened_at >= self.cooldown_s:
-                self.state = BreakerState.HALF_OPEN
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                if self._probe_in_flight:
+                    self.stats.counter("probe_rejections").increment()
+                    return False
+                self._probe_in_flight = True
                 self.stats.counter("probes").increment()
-            else:
-                return False
-        return True
+                return True
+            if self.state is BreakerState.OPEN:
+                if self.clock() - self._opened_at >= self.cooldown_s:
+                    self.state = BreakerState.HALF_OPEN
+                    self._probe_in_flight = True
+                    self.stats.counter("probes").increment()
+                else:
+                    return False
+            return True
 
     def record_success(self) -> None:
-        if self.state is BreakerState.HALF_OPEN:
-            self.stats.counter("recoveries").increment()
-        self.state = BreakerState.CLOSED
-        self._consecutive_failures = 0
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                self.stats.counter("recoveries").increment()
+            self.state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        if (
-            self.state is BreakerState.HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            self.trip()
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self.state is BreakerState.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip_locked()
 
     def trip(self) -> None:
         """Open immediately (e.g. the pool cannot even be created)."""
+        with self._lock:
+            self._trip_locked()
+
+    def _trip_locked(self) -> None:
         if self.state is not BreakerState.OPEN:
             self.stats.counter("opens").increment()
         self.state = BreakerState.OPEN
         self._opened_at = self.clock()
         self._consecutive_failures = 0
+        self._probe_in_flight = False

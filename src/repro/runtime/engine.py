@@ -725,7 +725,11 @@ class EvaluationEngine:
         seeds = [task[2] for task in tasks]
         if self.max_workers > 1:
             for attempt in range(first_attempt, 2):
-                if not self.breaker.allow():
+                # Collecting a batch _begin_tasks already dispatched is
+                # not a new use of the pool: the breaker admitted that
+                # dispatch (possibly as the single half-open probe), so
+                # gating the collection would deny our own probe.
+                if inflight is None and not self.breaker.allow():
                     break
                 pool = self._ensure_pool()
                 if pool is None:

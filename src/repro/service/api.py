@@ -18,7 +18,7 @@ import asyncio
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.service.jobs import JobSpec, SubmitOutcome
+from repro.service.jobs import JobSpec, SubmitOutcome, malformed_rejection
 from repro.service.service import JobService, ServiceConfig
 from repro.vqa.runner import HybridResult
 
@@ -55,6 +55,22 @@ class ServiceAPI:
 
     # -- lifecycle -----------------------------------------------------
     def submit(self, spec: JobSpec, tenant: str = "default") -> SubmitOutcome:
+        return self.service.submit(spec, tenant)
+
+    def submit_dict(
+        self, payload: Dict[str, object], tenant: str = "default"
+    ) -> SubmitOutcome:
+        """Submit an untrusted payload dict (wire / job-file shape).
+
+        A malformed payload is answered with a structured
+        ``malformed_spec`` :class:`~repro.service.jobs.Rejection` —
+        exactly like over-quota traffic, bad input is an expected
+        signal on a network boundary, not an exception escape.
+        """
+        try:
+            spec = JobSpec.from_dict(payload)
+        except ValueError as exc:
+            return SubmitOutcome(rejection=malformed_rejection(tenant, exc))
         return self.service.submit(spec, tenant)
 
     def status(self, job_id: str) -> Optional[Dict[str, object]]:

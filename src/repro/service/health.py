@@ -11,6 +11,7 @@ from the ``metrics`` payload alone.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -20,7 +21,12 @@ DEFAULT_UNHEALTHY_AFTER = 3
 
 @dataclass
 class BackendHealth:
-    """Rolling health of one platform backend."""
+    """Rolling health of one platform backend.
+
+    Recording is thread-safe: the service records from its worker
+    slots and the cluster master from its per-connection reader
+    threads, so concurrent bursts must not lose counts.
+    """
 
     name: str
     unhealthy_after: int = DEFAULT_UNHEALTHY_AFTER
@@ -29,17 +35,22 @@ class BackendHealth:
     failures: int = 0
     consecutive_failures: int = 0
     last_error: Optional[str] = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_success(self) -> None:
-        self.attempts += 1
-        self.successes += 1
-        self.consecutive_failures = 0
+        with self._lock:
+            self.attempts += 1
+            self.successes += 1
+            self.consecutive_failures = 0
 
     def record_failure(self, error: str) -> None:
-        self.attempts += 1
-        self.failures += 1
-        self.consecutive_failures += 1
-        self.last_error = error
+        with self._lock:
+            self.attempts += 1
+            self.failures += 1
+            self.consecutive_failures += 1
+            self.last_error = error
 
     @property
     def healthy(self) -> bool:
@@ -62,7 +73,12 @@ class BackendHealth:
 
 
 class HealthRegistry:
-    """Lazily-created :class:`BackendHealth` per backend name."""
+    """Lazily-created :class:`BackendHealth` per backend name.
+
+    Creation is guarded so two threads racing on a fresh name share
+    one tracker instead of each keeping a private one (which would
+    silently fork the counts).
+    """
 
     def __init__(self, unhealthy_after: int = DEFAULT_UNHEALTHY_AFTER) -> None:
         if unhealthy_after < 1:
@@ -71,13 +87,15 @@ class HealthRegistry:
             )
         self.unhealthy_after = unhealthy_after
         self._backends: Dict[str, BackendHealth] = {}
+        self._lock = threading.Lock()
 
     def backend(self, name: str) -> BackendHealth:
-        if name not in self._backends:
-            self._backends[name] = BackendHealth(
-                name, unhealthy_after=self.unhealthy_after
-            )
-        return self._backends[name]
+        with self._lock:
+            if name not in self._backends:
+                self._backends[name] = BackendHealth(
+                    name, unhealthy_after=self.unhealthy_after
+                )
+            return self._backends[name]
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {

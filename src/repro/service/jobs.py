@@ -153,18 +153,65 @@ class JobSpec:
             "backend": self.backend,
         }
 
+    #: Wire-level key → (constructor kwarg, coercion).  ``from_dict``
+    #: accepts exactly these keys: a cluster wire protocol makes
+    #: untrusted dicts the norm, and a typo'd or hostile key must be a
+    #: structured refusal, not a silently-dropped field.
+    _WIRE_FIELDS = {
+        "workload": ("workload", str),
+        "qubits": ("n_qubits", int),
+        "optimizer": ("optimizer", str),
+        "shots": ("shots", int),
+        "iterations": ("iterations", int),
+        "seed": ("seed", int),
+        "platform": ("platform", str),
+        "backend": ("backend", str),
+    }
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
-        return cls(
-            workload=str(data.get("workload", "qaoa")),
-            n_qubits=int(data.get("qubits", 5)),
-            optimizer=str(data.get("optimizer", "spsa")),
-            shots=int(data.get("shots", 200)),
-            iterations=int(data.get("iterations", 1)),
-            seed=int(data.get("seed", 0)),
-            platform=str(data.get("platform", "qtenon")),
-            backend=str(data.get("backend", "auto")),
-        )
+        """Build a spec from an untrusted payload dict.
+
+        Every malformed payload — wrong container type, unknown keys,
+        uncoercible or out-of-range values — raises ``ValueError`` with
+        a message naming the offending key, never a raw ``TypeError``/
+        ``KeyError`` traceback.  Callers on untrusted paths (CLI job
+        files, the cluster wire protocol) catch it and answer with a
+        structured :class:`Rejection` (see :func:`malformed_rejection`).
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"job spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(cls._WIRE_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown job-spec keys {unknown}; "
+                f"expected a subset of {sorted(cls._WIRE_FIELDS)}"
+            )
+        kwargs = {}
+        for key, (field_name, coerce) in cls._WIRE_FIELDS.items():
+            if key not in data:
+                continue
+            value = data[key]
+            if coerce is int:
+                # bool is an int subclass and int("3") hides type lies;
+                # integral fields take genuine integers only.
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(
+                        f"job-spec key {key!r} must be an integer, got {value!r}"
+                    )
+                kwargs[field_name] = int(value)
+            else:
+                if not isinstance(value, str):
+                    raise ValueError(
+                        f"job-spec key {key!r} must be a string, got {value!r}"
+                    )
+                kwargs[field_name] = value
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            raise ValueError(f"invalid job spec: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -263,3 +310,15 @@ class JobCancelled(Exception):
 def make_job_id(sequence: int, spec: JobSpec) -> str:
     """Durable job id: unique sequence + content-address prefix."""
     return f"job-{sequence:06d}-{spec.digest[:8]}"
+
+
+def malformed_rejection(tenant: str, error: Exception) -> Rejection:
+    """Structured refusal for a payload :meth:`JobSpec.from_dict`
+    rejected — the untrusted-input analogue of a quota rejection."""
+    return Rejection(
+        code="malformed_spec",
+        message=str(error),
+        tenant=tenant,
+        limit=0,
+        current=0,
+    )

@@ -52,14 +52,11 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.breakdown import CATEGORIES
 from repro.analysis.trace import TraceRecorder
-from repro.baseline.system import DecoupledSystem
-from repro.core.config import QtenonConfig
-from repro.core.system import QtenonSystem
 from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerHang
-from repro.host import core_by_name
 from repro.runtime.cache import EvalCache
 from repro.runtime.engine import EvaluationEngine
 from repro.service.health import HealthRegistry
+from repro.service.platforms import build_engine
 from repro.service.admission import (
     DEFAULT_MAX_OPEN_JOBS,
     DEFAULT_TENANT_QUOTA,
@@ -555,33 +552,19 @@ class JobService:
             time.sleep(self.fault_injector.plan.worker.slowdown_s)
 
     def _default_platform(self, spec: JobSpec) -> EvaluationEngine:
-        # "auto" leaves the platform sampler unforced so the execution
-        # planner routes the job from its gate census; anything else is
-        # threaded to Sampler.force_backend and wins unconditionally.
-        backend = None if spec.backend == "auto" else spec.backend
-        if spec.platform == "qtenon":
-            platform = QtenonSystem(
-                spec.n_qubits,
-                core=core_by_name(self.config.core),
-                seed=spec.seed,
-                backend=backend,
-                timing_only=self.config.timing_only,
-                trace_events=self.config.sim_trace,
-                config=QtenonConfig(
-                    n_qubits=spec.n_qubits,
-                    regfile_entries=max(1024, 8 * spec.n_qubits),
-                ),
-            )
-        else:
-            platform = DecoupledSystem(
-                spec.n_qubits,
-                seed=spec.seed,
-                backend=backend,
-                timing_only=self.config.timing_only,
-            )
         # One in-process engine per job; parallelism lives in the
-        # service's worker slots, reuse in the shared cache.
-        return EvaluationEngine(platform, max_workers=1, cache=self.cache, seed=spec.seed)
+        # service's worker slots, reuse in the shared cache.  The
+        # construction is shared with the cluster worker nodes
+        # (repro.service.platforms) so both tiers run bit-identical
+        # computations for the same spec.
+        return build_engine(
+            spec,
+            core=self.config.core,
+            timing_only=self.config.timing_only,
+            trace_events=self.config.sim_trace,
+            cache=self.cache,
+            engine_workers=1,
+        )
 
     # ------------------------------------------------------------------
     # settlement

@@ -16,8 +16,7 @@ All builders are deterministic given a seed.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 import numpy as np

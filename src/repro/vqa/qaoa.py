@@ -10,7 +10,6 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 import networkx as nx
-import numpy as np
 
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.parameters import Parameter

@@ -9,7 +9,7 @@ returns both the optimisation trace and the platform's timing report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Test-suite conftest: markers and shared fixtures."""
 
-import pytest
 
 
 def pytest_configure(config):

@@ -7,7 +7,6 @@ from repro.baseline import (
     EQASM,
     HISEPQ,
     PAPER_BASELINE,
-    VARIANTS,
     variant_by_name,
 )
 from repro.quantum import QuantumCircuit

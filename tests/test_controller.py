@@ -120,7 +120,7 @@ class TestQRun:
     def test_results_streamed_to_host_memory(self, setup):
         config, hierarchy, controller, program, theta = setup
         bound = program.bind_group(0, {theta: 3.14159})  # ry(pi): all ones
-        result = controller.execute_q_run(
+        controller.execute_q_run(
             bound, shots=8, now_ps=0, host_addr=HOST_RESULT_BASE, batched=True
         )
         # every shot is 0b1111 on 4 qubits -> first byte 0x0F

@@ -7,7 +7,6 @@ are checked so a silent regression in an example's output is caught.
 
 import importlib.util
 import io
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 

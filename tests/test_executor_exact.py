@@ -8,7 +8,7 @@ import pytest
 from repro.compiler import lower, transpile
 from repro.core import QtenonConfig, QuantumController
 from repro.core.executor import StreamExecutor
-from repro.isa import QAcquire, QGen, QRun, QUpdate, assemble, emit, encode_angle
+from repro.isa import QAcquire, QGen, QRun, QUpdate, assemble, encode_angle
 from repro.memory import MemoryHierarchy
 from repro.quantum import (
     Parameter,

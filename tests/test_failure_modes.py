@@ -10,7 +10,7 @@ import itertools
 
 import pytest
 
-from repro.compiler import LoweringError, lower, transpile
+from repro.compiler import LoweringError, lower
 from repro.core import (
     QtenonConfig,
     QSpace,

@@ -19,7 +19,6 @@ from repro.vqa import (
     GradientDescent,
     Spsa,
     h2_workload,
-    make_optimizer,
     qaoa_workload,
     qnn_workload,
     vqe_workload,

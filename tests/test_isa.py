@@ -22,7 +22,7 @@ from repro.isa import (
     pack_qaddr_length,
     unpack_qaddr_length,
 )
-from repro.isa.program import STATUS_INVALID, STATUS_VALID
+from repro.isa.program import STATUS_VALID
 
 
 class TestRoccEncoding:

@@ -7,7 +7,6 @@ from repro.memory import (
     CacheGeometry,
     Dram,
     DramConfig,
-    HierarchyConfig,
     MemoryHierarchy,
     MemoryImage,
     TileLinkBus,

@@ -1,8 +1,6 @@
 """Tests for the peephole circuit optimiser."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,8 +1,6 @@
 """Tests for Pauli strings, sums, grouping, and expectation estimation."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.quantum import (

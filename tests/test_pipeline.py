@@ -1,6 +1,5 @@
 """Tests for the four-stage pulse pipeline (Fig. 6)."""
 
-import pytest
 
 from repro.core import (
     PipelineWorkItem,

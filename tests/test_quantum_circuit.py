@@ -1,6 +1,5 @@
 """Tests for circuits, gates, and parameters."""
 
-import math
 
 import pytest
 

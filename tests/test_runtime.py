@@ -20,9 +20,7 @@ from repro.runtime import (
     build_spec,
     circuit_structure_hash,
     evaluate_spec,
-    evaluate_spec_batch,
     evaluation_key,
-    evaluation_keys,
 )
 from repro.quantum import Parameter, QuantumCircuit
 from repro.vqa import make_optimizer
@@ -353,6 +351,58 @@ class TestEngineFallbacks:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError, match="cooldown_s"):
             CircuitBreaker(cooldown_s=-1.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        # Regression: the half-open window must be a single-probe gate.
+        # Before the probe-in-flight latch, every caller arriving after
+        # the cooldown saw open→half-open and slipped through together.
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=2.0, clock=lambda: now["s"]
+        )
+        breaker.record_failure()
+        now["s"] += 2.0
+        assert breaker.allow() is True  # the probe
+        assert breaker.allow() is False  # everyone else, same instant
+        assert breaker.allow() is False
+        assert breaker.stats.counter("probes").value == 1
+        assert breaker.stats.counter("probe_rejections").value == 2
+        # Probe failure re-opens and restarts the cooldown in full.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        now["s"] += 1.9
+        assert breaker.allow() is False
+        now["s"] += 0.1
+        assert breaker.allow() is True  # fresh probe after full cooldown
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_single_probe_under_concurrency(self):
+        import threading
+
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=lambda: now["s"]
+        )
+        breaker.record_failure()
+        now["s"] += 1.0
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def contend():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
 
     def test_single_worker_never_spawns_a_pool(self, workload):
         _, parameters, _ = workload

@@ -620,6 +620,153 @@ class TestServiceAPI:
 
 
 # ----------------------------------------------------------------------
+# strict untrusted-payload parsing (the cluster wire / job-file shape)
+# ----------------------------------------------------------------------
+class TestJobSpecStrictParsing:
+    def test_unknown_keys_rejected_by_name(self):
+        payload = spec_for(0).as_dict()
+        payload["sohts"] = 64  # the typo strictness exists to catch
+        with pytest.raises(ValueError, match=r"unknown job-spec keys.*sohts"):
+            JobSpec.from_dict(payload)
+
+    def test_non_dict_payload_rejected(self):
+        for bogus in (None, 7, "qaoa", [("workload", "qaoa")]):
+            with pytest.raises(ValueError, match="JSON object"):
+                JobSpec.from_dict(bogus)
+
+    @pytest.mark.parametrize(
+        "key,value",
+        [
+            ("qubits", "4"),      # numeric string is a type lie
+            ("qubits", 4.0),      # so is a float
+            ("shots", True),      # bool is an int subclass; still refused
+            ("workload", 3),
+            ("seed", None),
+        ],
+    )
+    def test_uncoercible_values_rejected_by_key(self, key, value):
+        payload = spec_for(0).as_dict()
+        payload[key] = value
+        with pytest.raises(ValueError, match=f"job-spec key '{key}'"):
+            JobSpec.from_dict(payload)
+
+    def test_out_of_range_values_surface_as_invalid_spec(self):
+        payload = spec_for(0).as_dict()
+        payload["shots"] = -5
+        with pytest.raises(ValueError, match="invalid job spec"):
+            JobSpec.from_dict(payload)
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        spec = JobSpec.from_dict({"workload": "qaoa", "qubits": 4})
+        assert spec.workload == "qaoa"
+        assert spec.n_qubits == 4
+        assert spec.shots == JobSpec().shots
+
+    def test_submit_dict_turns_parse_errors_into_rejections(self):
+        api = ServiceAPI(ServiceConfig(workers=1, cache_entries=0))
+        api.service._platform_factory = fake_factory()
+        try:
+            outcome = api.submit_dict(
+                {"workload": "qaoa", "qubits": 4, "surprise": 1}, "alice"
+            )
+            assert not outcome.accepted
+            assert outcome.rejection.code == "malformed_spec"
+            assert "surprise" in outcome.rejection.message
+            # A malformed payload must not consume admission capacity.
+            assert api.service.admission.open_jobs == 0
+        finally:
+            api.service.close()
+
+
+# ----------------------------------------------------------------------
+# backend health registry + breaker interplay
+# ----------------------------------------------------------------------
+class TestHealthRegistry:
+    def test_concurrent_failure_bursts_lose_no_counts(self):
+        from repro.service.health import HealthRegistry
+
+        registry = HealthRegistry()
+        barrier = threading.Barrier(8)
+
+        def hammer(index):
+            # Half the threads race backend() creation on a fresh name,
+            # all race the recording lock on the shared tracker.
+            barrier.wait()
+            backend = registry.backend("qtenon")
+            for _ in range(250):
+                if index % 2:
+                    backend.record_failure("burst")
+                else:
+                    backend.record_success()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.backend("qtenon").snapshot()
+        assert snapshot["attempts"] == 8 * 250
+        assert snapshot["failures"] == 4 * 250
+        assert snapshot["successes"] == 4 * 250
+
+    def test_recovery_after_unhealthy(self):
+        from repro.service.health import HealthRegistry
+
+        registry = HealthRegistry(unhealthy_after=2)
+        backend = registry.backend("baseline")
+        backend.record_failure("one")
+        assert backend.healthy
+        backend.record_failure("two")
+        assert not backend.healthy
+        backend.record_success()  # one success clears the streak
+        assert backend.healthy
+        assert backend.consecutive_failures == 0
+        assert backend.failures == 2  # history is not erased
+
+    def test_snapshot_is_deterministic_and_sorted(self):
+        from repro.service.health import HealthRegistry
+
+        registry = HealthRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.backend(name).record_success()
+        first = registry.snapshot()
+        assert list(first) == ["alpha", "mid", "zeta"]
+        assert first == registry.snapshot()
+
+    def test_unhealthy_node_gates_routing_while_breaker_still_closed(self):
+        # Interplay: health (consecutive-failure streak) and the breaker
+        # (failure_threshold) guard routing independently — a node can
+        # be unhealthy long before its breaker trips, and must stop
+        # receiving dispatches either way.
+        from repro.cluster import ClusterConfig, ClusterMaster, ManualClock
+        from repro.cluster.hashring import rank_nodes
+        from repro.runtime.breaker import BreakerState
+
+        master = ClusterMaster(
+            ClusterConfig(breaker_failure_threshold=10),
+            clock=ManualClock(),
+        )
+        master.register_node("node-0", 1)
+        master.register_node("node-1", 1)
+        spec = spec_for(0)
+        [preferred, fallback] = rank_nodes(spec.digest, ["node-0", "node-1"])
+        for index in range(3):  # DEFAULT_UNHEALTHY_AFTER
+            master.health.backend(preferred).record_failure(f"fail {index}")
+        assert master.nodes[preferred].breaker.state is BreakerState.CLOSED
+        master.submit(spec, "alice")
+        [(node_id, _)] = master.tick()
+        assert node_id == fallback
+
+    def test_validation(self):
+        from repro.service.health import HealthRegistry
+
+        with pytest.raises(ValueError, match="unhealthy_after"):
+            HealthRegistry(unhealthy_after=0)
+
+
+# ----------------------------------------------------------------------
 # resilience: capped-jitter backoff, backend health, fault injection
 # ----------------------------------------------------------------------
 class TestServiceResilience:

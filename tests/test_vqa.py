@@ -1,12 +1,10 @@
 """Tests for ansätze, Hamiltonians, optimizers, and workload builders."""
 
-import math
 
 import networkx as nx
 import numpy as np
 import pytest
 
-from repro.quantum import QuantumCircuit, StatevectorBackend
 from repro.vqa import (
     GradientDescent,
     Spsa,
@@ -83,12 +81,6 @@ class TestMaxcutHamiltonian:
         # Square graph: max cut = 4.
         graph = nx.cycle_graph(4)
         ham = maxcut_hamiltonian(graph)
-        best = min(
-            sum(0.5 * (1 if ((b >> u) & 1) == ((b >> v) & 1) else -1) for u, v in graph.edges())
-            + ham.constant - ham.constant  # structural guard
-            for b in range(16)
-        )
-        # evaluate via eigenvalue machinery instead:
         energies = []
         for bits in range(16):
             e = ham.constant
@@ -150,7 +142,7 @@ class TestTfim:
         # H = -Z0Z1 - X0 - X1; exact ground energy is -1-sqrt(2)... verify numerically.
         import numpy as np
 
-        ham = transverse_field_ising(2)
+        transverse_field_ising(2)  # the n=2 constructor path itself
         matrix = np.zeros((4, 4), dtype=complex)
         z = np.diag([1, -1]).astype(complex)
         x = np.array([[0, 1], [1, 0]], dtype=complex)
