@@ -15,6 +15,7 @@ from repro.cluster.journal import (
     JobJournal,
     JournalCorrupt,
     JournalState,
+    repair_tail,
     replay_journal,
 )
 from repro.cluster.master import ClusterConfig, ClusterJob, ClusterMaster, NodeHandle
@@ -35,6 +36,7 @@ __all__ = [
     "WorkerNode",
     "execute_spec",
     "rank_nodes",
+    "repair_tail",
     "replay_journal",
     "result_fingerprint",
     "run_worker",

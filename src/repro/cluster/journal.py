@@ -22,6 +22,12 @@ or truncated **final** record is discarded with a counter.  A corrupt
 record *followed by valid ones* is genuine file damage and raises
 :class:`JournalCorrupt` — silently skipping mid-file records could
 resurrect a settled job or drop an accepted one.
+
+Reopening for append repairs the tail first (:func:`repair_tail`):
+the torn partial line is truncated away so the first post-restart
+record starts on a clean boundary.  Without that, appending directly
+onto the damaged line would destroy the new record *and* turn the
+tolerable torn tail into mid-file corruption on the next replay.
 """
 
 from __future__ import annotations
@@ -68,16 +74,67 @@ def _decode_line(line: bytes) -> Optional[Dict[str, object]]:
     return record
 
 
+def repair_tail(path: str) -> int:
+    """Make ``path`` safe to append to after a torn final write.
+
+    Returns the number of torn-tail bytes truncated (0 when the file
+    was already clean).  Two repairs are possible:
+
+    * a damaged **final** line (the crash cut a record short) is
+      truncated away, so the next append starts on a line boundary;
+    * a final record whose body is intact but whose trailing newline
+      the crash ate is *completed* with the missing newline — the
+      record is valid and must not be discarded.
+
+    A damaged line followed by more data is mid-file corruption and
+    raises :class:`JournalCorrupt`, matching :func:`replay_journal`.
+    """
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return 0
+    good_end = 0
+    damaged_at: Optional[int] = None
+    missing_newline = False
+    with open(path, "rb") as handle:
+        offset = 0
+        for line_number, line in enumerate(handle):
+            offset += len(line)
+            if damaged_at is not None:
+                raise JournalCorrupt(
+                    f"{path}: damaged record at line {damaged_at} is "
+                    f"followed by more data — mid-file corruption, not a "
+                    f"torn write"
+                )
+            if _decode_line(line) is None:
+                damaged_at = line_number
+                continue
+            missing_newline = not line.endswith(b"\n")
+            good_end = offset
+    if damaged_at is not None:
+        torn_bytes = os.path.getsize(path) - good_end
+        with open(path, "r+b") as handle:
+            handle.truncate(good_end)
+        return torn_bytes
+    if missing_newline:
+        with open(path, "ab") as handle:
+            handle.write(b"\n")
+    return 0
+
+
 class JobJournal:
     """Append-only writer.  ``fsync=True`` makes each record durable
     against power loss; ``False`` still survives process crashes (the
-    OS holds the page cache) and is what the deterministic tests use."""
+    OS holds the page cache) and is what the deterministic tests use.
+
+    Opening repairs a torn tail first (see :func:`repair_tail`), so a
+    post-crash append never lands on a damaged partial line."""
 
     def __init__(self, path: str, fsync: bool = True) -> None:
         self.path = path
         self.fsync = fsync
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
+        #: torn-tail bytes truncated while reopening (0 on a clean file).
+        self.repaired_bytes = repair_tail(path)
         self._handle = open(path, "ab")
         self.appended = 0
 

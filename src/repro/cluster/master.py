@@ -211,6 +211,8 @@ class ClusterMaster:
             self.journal = JobJournal(
                 self.config.journal_path, fsync=self.config.journal_fsync
             )
+            if self.journal.repaired_bytes:
+                self.stats.counter("journal_tail_repaired").increment()
 
     # ------------------------------------------------------------------
     # recovery
@@ -329,6 +331,10 @@ class ClusterMaster:
             handle.capacity = capacity
             handle.last_heartbeat_s = now
             handle.alive = True
+            # Rejoin wipes the breaker: its failure history belongs to
+            # the dead incarnation, and a half-open probe lost with the
+            # old connection must not keep the node unroutable forever.
+            handle.breaker.reset()
         handle.stats.counter("registered").increment()
         self.stats.counter("node_registrations").increment()
         return handle
@@ -354,6 +360,11 @@ class ClusterMaster:
         self.stats.counter("nodes_lost").increment()
         in_flight = list(handle.in_flight)
         handle.in_flight.clear()
+        if in_flight:
+            # The node vanished mid-work.  Charging a failure also
+            # fails any half-open probe riding on those dispatches, so
+            # the breaker cannot wedge with its probe slot leaked.
+            handle.breaker.record_failure()
         for job_id in in_flight:
             job = self.jobs.get(job_id)
             if job is None or job.state.terminal:
@@ -504,9 +515,12 @@ class ClusterMaster:
         if job.state.terminal:
             # A redispatch raced this node (partition heal, slow node):
             # the job already settled with bit-identical content.  Count
-            # it; admission was released exactly once at settlement.
+            # it; admission was released exactly once at settlement.  The
+            # node still did the work, so its breaker records a success —
+            # a half-open probe answered by a duplicate must be released.
             self.stats.counter("duplicate_results").increment()
             if handle is not None:
+                handle.breaker.record_success()
                 handle.stats.counter("duplicate_results").increment()
             return False
         if str(payload.get("digest", "")) != job.spec.digest:

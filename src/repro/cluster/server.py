@@ -86,8 +86,14 @@ class MasterServer:
         finally:
             if node_id is not None:
                 with self._lock:
-                    self._links.pop(node_id, None)
-                    self.master.node_lost(node_id)
+                    # Only the reader that owns the stored socket may
+                    # retire the link: a reconnect replaces the link, and
+                    # the stale reader's exit must not declare the fresh,
+                    # healthy connection lost.
+                    link = self._links.get(node_id)
+                    if link is not None and link[0] is conn:
+                        del self._links[node_id]
+                        self.master.node_lost(node_id)
             try:
                 conn.close()
             except OSError:
@@ -99,26 +105,51 @@ class MasterServer:
         message: Dict[str, object],
         node_id: Optional[str],
     ) -> Optional[str]:
-        kind = message["type"]
         with self._lock:
-            if kind == wire.MSG_HELLO:
-                node_id = str(message["node_id"])
-                self.master.register_node(node_id, int(message["capacity"]))
-                self._links[node_id] = (conn, wire.MessageWriter())
-            elif kind == wire.MSG_HEARTBEAT:
-                self.master.heartbeat(str(message["node_id"]))
-            elif kind == wire.MSG_RESULT:
-                self.master.handle_result(
-                    str(message["node_id"]),
-                    str(message["job_id"]),
-                    dict(message["payload"]),
-                )
-            elif kind == wire.MSG_ERROR:
-                self.master.handle_error(
-                    str(message["node_id"]),
-                    str(message["job_id"]),
-                    str(message.get("error", "worker error")),
-                )
+            # The wire layer only guarantees a well-framed dict with a
+            # "type" key; fields are still untrusted.  A message with
+            # missing or wrongly-typed fields (or a hello the master
+            # refuses) is counted and dropped — it must not kill the
+            # reader thread and take the whole connection with it.
+            try:
+                kind = message["type"]
+                if kind == wire.MSG_HELLO:
+                    hello_id = str(message["node_id"])
+                    self.master.register_node(hello_id, int(message["capacity"]))
+                    stale = self._links.get(hello_id)
+                    if stale is not None and stale[0] is not conn:
+                        # Reconnect with the same node id: retire the old
+                        # socket so its reader exits (the ownership check
+                        # above keeps it from touching the new link).
+                        # shutdown(), not just close(): the stale reader
+                        # blocked in recv() holds the socket open, and
+                        # only shutdown(2) wakes it with a clean EOF.
+                        try:
+                            stale[0].shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        try:
+                            stale[0].close()
+                        except OSError:
+                            pass
+                    self._links[hello_id] = (conn, wire.MessageWriter())
+                    node_id = hello_id
+                elif kind == wire.MSG_HEARTBEAT:
+                    self.master.heartbeat(str(message["node_id"]))
+                elif kind == wire.MSG_RESULT:
+                    self.master.handle_result(
+                        str(message["node_id"]),
+                        str(message["job_id"]),
+                        dict(message["payload"]),
+                    )
+                elif kind == wire.MSG_ERROR:
+                    self.master.handle_error(
+                        str(message["node_id"]),
+                        str(message["job_id"]),
+                        str(message.get("error", "worker error")),
+                    )
+            except (KeyError, TypeError, ValueError):
+                self.master.stats.counter("malformed_messages").increment()
         return node_id
 
     def _tick_loop(self) -> None:

@@ -15,7 +15,11 @@ standard three-state machine:
   the probe is in flight every other ``allow()`` is refused — without
   that gate several concurrent callers could all slip through the
   half-open window, and one slow probe racing one failure flaps the
-  breaker open/closed/open.
+  breaker open/closed/open.  A probe whose outcome is never reported
+  (the prober died, its connection vanished) would otherwise wedge the
+  breaker in half-open forever, so a probe older than
+  ``probe_timeout_s`` is abandoned and ``allow()`` hands the probe
+  slot to the next caller.
 
 Time comes from an injectable ``clock`` so tests and chaos campaigns
 assert recovery through the state machine, never through sleeps.  All
@@ -28,7 +32,7 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim.stats import StatGroup
 
@@ -50,6 +54,7 @@ class CircuitBreaker:
         failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
         cooldown_s: float = DEFAULT_COOLDOWN_S,
         clock: Callable[[], float] = time.monotonic,
+        probe_timeout_s: Optional[float] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -57,8 +62,17 @@ class CircuitBreaker:
             )
         if cooldown_s < 0:
             raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        if probe_timeout_s is not None and probe_timeout_s < 0:
+            raise ValueError(
+                f"probe_timeout_s must be >= 0, got {probe_timeout_s}"
+            )
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
+        #: a half-open probe unresolved past this is abandoned and the
+        #: probe slot handed to the next caller (default: the cooldown).
+        self.probe_timeout_s = (
+            cooldown_s if probe_timeout_s is None else probe_timeout_s
+        )
         self.clock = clock
         self.state = BreakerState.CLOSED
         self.stats = StatGroup("breaker")
@@ -66,6 +80,7 @@ class CircuitBreaker:
         self._opened_at = 0.0
         #: True while a half-open probe is in flight and unresolved.
         self._probe_in_flight = False
+        self._probe_started_at = 0.0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -81,15 +96,23 @@ class CircuitBreaker:
         with self._lock:
             if self.state is BreakerState.HALF_OPEN:
                 if self._probe_in_flight:
-                    self.stats.counter("probe_rejections").increment()
-                    return False
+                    # The probe's outcome may never arrive (prober died,
+                    # connection reaped): past the timeout the slot is
+                    # handed over instead of wedging half-open forever.
+                    age = self.clock() - self._probe_started_at
+                    if age < self.probe_timeout_s:
+                        self.stats.counter("probe_rejections").increment()
+                        return False
+                    self.stats.counter("probe_timeouts").increment()
                 self._probe_in_flight = True
+                self._probe_started_at = self.clock()
                 self.stats.counter("probes").increment()
                 return True
             if self.state is BreakerState.OPEN:
                 if self.clock() - self._opened_at >= self.cooldown_s:
                     self.state = BreakerState.HALF_OPEN
                     self._probe_in_flight = True
+                    self._probe_started_at = self.clock()
                     self.stats.counter("probes").increment()
                 else:
                     return False
@@ -116,6 +139,16 @@ class CircuitBreaker:
         """Open immediately (e.g. the pool cannot even be created)."""
         with self._lock:
             self._trip_locked()
+
+    def reset(self) -> None:
+        """Back to closed with a clean slate (e.g. the protected node
+        reconnected): failure count and any pending probe are dropped."""
+        with self._lock:
+            if self.state is not BreakerState.CLOSED:
+                self.stats.counter("resets").increment()
+            self.state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
 
     def _trip_locked(self) -> None:
         if self.state is not BreakerState.OPEN:

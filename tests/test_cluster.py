@@ -13,7 +13,9 @@ Three layers, mirroring the module split:
   and a threaded socket smoke test.
 """
 
+import socket
 import threading
+import time
 
 import pytest
 
@@ -33,6 +35,7 @@ from repro.cluster import (
 from repro.cluster import wire
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, NodeFaults
+from repro.runtime.breaker import BreakerState
 from repro.service.jobs import JobSpec, JobState
 
 
@@ -162,6 +165,56 @@ class TestJournal:
         state = replay_journal(path)
         assert list(state.accepted) == ["j1"]
         assert state.torn_tail == 1
+
+    def test_torn_tail_repaired_on_reopen(self, tmp_path):
+        # Regression: reopening in append mode used to write the first
+        # post-restart record straight onto the damaged partial line,
+        # destroying it and turning the tolerable torn tail into
+        # mid-file corruption on the next replay.
+        path = str(tmp_path / "journal.jsonl")
+        with JobJournal(path, fsync=False) as journal:
+            journal.append("accepted", job_id="j1", tenant="t", spec={}, digest="d")
+            journal.append("accepted", job_id="j2", tenant="t", spec={}, digest="d2")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-10])  # crash tore the last record
+        assert replay_journal(path).torn_tail == 1
+        with JobJournal(path, fsync=False) as journal:
+            assert journal.repaired_bytes > 0
+            journal.append("accepted", job_id="j3", tenant="t", spec={}, digest="d3")
+        state = replay_journal(path)  # replay → append → replay again
+        assert list(state.accepted) == ["j1", "j3"]
+        assert state.torn_tail == 0
+
+    def test_missing_trailing_newline_completed_not_discarded(self, tmp_path):
+        # A crash can eat only the newline: the final record is intact
+        # and must survive the repair, with the next append on its own
+        # line.
+        path = str(tmp_path / "journal.jsonl")
+        with JobJournal(path, fsync=False) as journal:
+            journal.append("accepted", job_id="j1", tenant="t", spec={}, digest="d")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-1])  # strip just the "\n"
+        with JobJournal(path, fsync=False) as journal:
+            assert journal.repaired_bytes == 0
+            journal.append("accepted", job_id="j2", tenant="t", spec={}, digest="d2")
+        assert list(replay_journal(path).accepted) == ["j1", "j2"]
+
+    def test_reopen_refuses_midfile_damage(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JobJournal(path, fsync=False) as journal:
+            journal.append("accepted", job_id="j1", tenant="t", spec={}, digest="d")
+            journal.append("accepted", job_id="j2", tenant="t", spec={}, digest="d2")
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+        lines[0] = b"00000000 {garbage\n"
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(JournalCorrupt):
+            JobJournal(path, fsync=False)
 
     def test_midfile_corruption_raises(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")
@@ -318,6 +371,54 @@ class TestMaster:
         assert not master.handle_result("node-1", job.job_id, payload)
         assert master.stats.as_dict()["cluster.duplicate_results"] == 1
         assert master.open_jobs == 0  # admission released exactly once
+
+    def test_node_loss_releases_half_open_probe_and_rejoin_resets(self):
+        # Regression: losing a node while its half-open probe dispatch
+        # was in flight leaked the probe latch — the breaker sat in
+        # half-open refusing every allow(), so the node stayed
+        # unroutable even after it re-registered.
+        clock = ManualClock()
+        master = make_master(
+            clock, breaker_failure_threshold=1, lease_timeout_s=100.0
+        )
+        master.register_node("node-0", 1)
+        master.submit(make_spec(), "alice")
+        handle = master.nodes["node-0"]
+        handle.breaker.trip()
+        clock.advance(master.config.breaker_cooldown_s)
+        [(node_id, message)] = master.tick()  # the half-open probe dispatch
+        assert node_id == "node-0"
+        assert handle.breaker.state is BreakerState.HALF_OPEN
+        master.node_lost("node-0")  # probe dispatch reaped, never reported
+        assert handle.breaker.state is BreakerState.OPEN  # probe failed, not leaked
+        master.register_node("node-0", 1)  # rejoin: clean slate
+        assert handle.breaker.state is BreakerState.CLOSED
+        clock.advance(0.2)  # past the jittered redispatch backoff
+        [(node_id, redispatch)] = master.tick()
+        assert node_id == "node-0"
+        assert redispatch["job_id"] == message["job_id"]
+
+    def test_duplicate_result_releases_half_open_probe(self):
+        # A probe whose answer arrives after the job already settled
+        # elsewhere (redispatch race) must still release the probe: the
+        # node demonstrably works, so the breaker closes.
+        clock = ManualClock()
+        master = make_master(clock, breaker_failure_threshold=1)
+        master.register_node("node-0", 1)
+        master.register_node("node-1", 1)
+        master.submit(make_spec(), "alice")
+        [(node_id, message)] = master.tick()
+        job = master.jobs[message["job_id"]]
+        payload = fake_payload(job.spec)
+        assert master.handle_result(node_id, job.job_id, payload)
+        other = "node-1" if node_id == "node-0" else "node-0"
+        breaker = master.nodes[other].breaker
+        breaker.trip()
+        clock.advance(master.config.breaker_cooldown_s)
+        assert breaker.allow()  # the probe dispatch goes out
+        assert not master.handle_result(other, job.job_id, payload)  # duplicate
+        assert breaker.state is BreakerState.CLOSED
+        assert master.stats.as_dict()["cluster.duplicate_results"] == 1
 
     def test_digest_mismatch_requeues_and_charges_node(self):
         master = make_master()
@@ -543,6 +644,73 @@ class TestSocketCluster:
         for thread in threads:
             thread.join(timeout=10.0)
             assert not thread.is_alive()
+
+    def test_malformed_messages_dropped_without_killing_reader(self):
+        # Well-framed messages with bad fields (a hello the master
+        # refuses, a result missing its job) used to raise out of the
+        # reader thread and drop the connection; they must be counted
+        # and dropped while the connection keeps working.
+        master = ClusterMaster(
+            ClusterConfig(lease_timeout_s=10.0, dispatch_timeout_s=60.0)
+        )
+        server = MasterServer(master, tick_interval_s=0.02).start()
+        conn = None
+        try:
+            conn = socket.create_connection(("127.0.0.1", server.port))
+            writer = wire.MessageWriter()
+            conn.sendall(
+                writer.encode(
+                    {"type": wire.MSG_HELLO, "node_id": "bad", "capacity": 0}
+                )
+            )
+            conn.sendall(
+                writer.encode({"type": wire.MSG_RESULT, "node_id": "bad"})
+            )
+            conn.sendall(writer.encode(wire.hello("node-good", 1)))
+            assert server.wait_for_nodes(1, timeout_s=10.0)
+            assert "bad" not in master.nodes
+            assert master.nodes["node-good"].alive
+            assert (
+                master.stats.as_dict()["cluster.malformed_messages"] == 2
+            )
+        finally:
+            if conn is not None:
+                conn.close()
+            server.shutdown()
+
+    def test_reconnect_hello_does_not_kill_fresh_link(self):
+        # A second hello for the same node id replaces the link; when
+        # the stale first reader exits it must not pop the live link
+        # and declare the healthy, newly connected node lost.
+        master = ClusterMaster(
+            ClusterConfig(lease_timeout_s=10.0, dispatch_timeout_s=60.0)
+        )
+        server = MasterServer(master, tick_interval_s=0.02).start()
+        first = second = None
+        try:
+            first = socket.create_connection(("127.0.0.1", server.port))
+            first.sendall(wire.MessageWriter().encode(wire.hello("node-0", 1)))
+            assert server.wait_for_nodes(1, timeout_s=10.0)
+            second = socket.create_connection(("127.0.0.1", server.port))
+            second.sendall(wire.MessageWriter().encode(wire.hello("node-0", 1)))
+            # The server retires the stale socket on the duplicate hello;
+            # wait for that close to reach us, then the stale reader has
+            # run (or is running) its cleanup.
+            first.settimeout(10.0)
+            try:
+                leftover = first.recv(1)
+            except OSError:
+                leftover = b""
+            assert leftover == b""
+            deadline = time.monotonic() + 0.5
+            while time.monotonic() < deadline:
+                assert master.nodes["node-0"].alive
+                time.sleep(0.05)
+        finally:
+            for sock in (first, second):
+                if sock is not None:
+                    sock.close()
+            server.shutdown()
 
     def test_socket_results_match_local_harness(self):
         # Same specs through the socket transport and the in-process

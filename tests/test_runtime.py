@@ -404,6 +404,54 @@ class TestEngineFallbacks:
         breaker.record_success()
         assert breaker.state is BreakerState.CLOSED
 
+    def test_abandoned_probe_times_out_and_slot_is_reissued(self):
+        # Regression: a probe whose outcome is never reported (the
+        # prober died, its connection was reaped) used to wedge the
+        # breaker in half-open forever — allow() refused everyone while
+        # waiting on a report that could no longer arrive.
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_s=2.0,
+            clock=lambda: now["s"],
+            probe_timeout_s=3.0,
+        )
+        breaker.record_failure()
+        now["s"] += 2.0
+        assert breaker.allow() is True  # probe taken... and never reported
+        now["s"] += 2.9
+        assert breaker.allow() is False  # within the probe timeout
+        now["s"] += 0.1
+        assert breaker.allow() is True  # abandoned probe slot reissued
+        assert breaker.stats.counter("probe_timeouts").value == 1
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_timeout_defaults_to_cooldown(self):
+        breaker = CircuitBreaker(cooldown_s=7.5)
+        assert breaker.probe_timeout_s == 7.5
+        with pytest.raises(ValueError, match="probe_timeout_s"):
+            CircuitBreaker(probe_timeout_s=-1.0)
+
+    def test_reset_clears_state_and_pending_probe(self):
+        now = {"s": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=5.0, clock=lambda: now["s"]
+        )
+        breaker.record_failure()
+        now["s"] += 5.0
+        assert breaker.allow() is True  # probe in flight
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow() is True  # no stale probe latch survives
+        assert breaker.stats.counter("resets").value == 1
+        # A single failure below threshold stays closed post-reset.
+        breaker2 = CircuitBreaker(failure_threshold=2, cooldown_s=5.0)
+        breaker2.record_failure()
+        breaker2.reset()
+        breaker2.record_failure()
+        assert breaker2.state is BreakerState.CLOSED
+
     def test_single_worker_never_spawns_a_pool(self, workload):
         _, parameters, _ = workload
         engine = _engine(workload, max_workers=1)
