@@ -262,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
              "path (implies per-job sim tracing)",
     )
 
+    session = sub.add_parser(
+        "session",
+        help="demo the streamed session tier: open a session over a local "
+             "socket, stream the optimisation, verify parity with a "
+             "one-shot run",
+    )
+    _add_spec_arguments(session)
+    session.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     telemetry = sub.add_parser(
         "telemetry",
         help="run a deterministic seeded service workload and export "
@@ -663,6 +674,98 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_session(args) -> int:
+    """Demo the streamed session tier end to end over a local socket.
+
+    Opens a session (compile once), drives the optimisation by
+    streaming raw parameter vectors through the binary protocol, then
+    runs the identical spec as a one-shot service job and checks the
+    energy histories are bit-identical — the session tier's core
+    contract.
+    """
+    import time
+
+    from repro.service import SessionServer, drive_session
+    from repro.service.stream import SessionClient, StreamRemoteError
+
+    spec = _spec_from_args(args)
+    requests = 0
+
+    try:
+        with SessionServer() as server:
+            host, port = server.address
+            with SessionClient(host, port) as client:
+                handle = client.open(spec.as_dict())
+
+                def evaluate_batch(vectors):
+                    nonlocal requests
+                    requests += 1
+                    return client.evaluate(vectors)
+
+                start = time.perf_counter()
+                _params, history = drive_session(
+                    spec, int(handle["n_params"]), evaluate_batch
+                )
+                elapsed = time.perf_counter() - start
+                stats = client.close() or {}
+    except StreamRemoteError as exc:
+        print(f"error: session rejected [{exc.code}] {exc}", file=sys.stderr)
+        return 1
+
+    api = ServiceAPI(ServiceConfig(workers=1))
+    batch = api.run_batch([("default", spec)])
+    outcome = batch.outcomes[0]
+    oneshot = api.result(outcome.job_id) if outcome.accepted else None
+    identical = (
+        oneshot is not None and list(oneshot.cost_history) == list(history)
+    )
+
+    rps = requests / elapsed if elapsed > 0 else float("inf")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "session": handle,
+                    "stream": {
+                        "requests": requests,
+                        "vectors": stats.get("vectors"),
+                        "elapsed_s": elapsed,
+                        "requests_per_s": rps,
+                    },
+                    "history": list(history),
+                    "oneshot_history": (
+                        list(oneshot.cost_history) if oneshot else None
+                    ),
+                    "bit_identical": identical,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if identical else 1
+
+    print(
+        f"session {handle['session_id']} "
+        f"(structure {str(handle['structure_hash'])[:8]}, "
+        f"backend {handle['backend_id']}, {handle['n_params']} params)"
+    )
+    print(
+        f"streamed {requests} requests / {stats.get('vectors', '?')} vectors "
+        f"in {elapsed:.3f}s ({rps:.0f} req/s)"
+    )
+    for index, cost in enumerate(history):
+        print(f"  iteration {index + 1}: cost {cost:+.6f}")
+    if identical:
+        print("parity: session history is bit-identical to the one-shot job")
+        return 0
+    print(
+        "parity: MISMATCH against the one-shot job "
+        f"({list(oneshot.cost_history) if oneshot else 'job failed'})",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def cmd_telemetry(args) -> int:
     """Deterministic telemetry demo/smoke: seeded workload, exports.
 
@@ -969,6 +1072,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_submit(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "session":
+        return cmd_session(args)
     if args.command == "telemetry":
         return cmd_telemetry(args)
     if args.command == "chaos":

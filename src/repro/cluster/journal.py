@@ -37,7 +37,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.faults.protocol import checksum32
+from repro.faults.protocol import checksum32, dumps_wire
 
 #: Lifecycle edges the journal records.
 KINDS = ("accepted", "dispatched", "settled")
@@ -48,7 +48,7 @@ class JournalCorrupt(ValueError):
 
 
 def _encode_line(record: Dict[str, object]) -> bytes:
-    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    body = dumps_wire(record)
     crc = checksum32(body.encode())
     return f"{crc:08x} {body}\n".encode()
 

@@ -23,7 +23,7 @@ import json
 import struct
 from typing import Dict, List, Optional
 
-from repro.faults.protocol import checksum32
+from repro.faults.protocol import checksum32, dumps_wire
 
 #: Frame header: payload length, sequence number, Adler-32 checksum.
 HEADER = struct.Struct("<III")
@@ -60,9 +60,13 @@ def encode_frame(sequence: int, payload: bytes) -> bytes:
 
 
 def encode_message(sequence: int, message: Dict[str, object]) -> bytes:
-    """Frame a JSON message (sorted keys: byte-deterministic frames)."""
-    payload = json.dumps(message, sort_keys=True, separators=(",", ":")).encode()
-    return encode_frame(sequence, payload)
+    """Frame a JSON message (sorted keys: byte-deterministic frames).
+
+    Floats go through the shared
+    :func:`repro.faults.protocol.dumps_wire` encoder, so doubles in
+    result payloads (cost histories, final params) survive bit-exactly.
+    """
+    return encode_frame(sequence, dumps_wire(message).encode())
 
 
 class FrameDecoder:

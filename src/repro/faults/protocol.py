@@ -22,9 +22,11 @@ is charged in sim time by the scheduler
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
 from dataclasses import dataclass
+from typing import List, Sequence
 
 #: Header layout: 4-byte sequence number + 4-byte Adler-32 checksum.
 HEADER_BYTES = 8
@@ -33,6 +35,46 @@ HEADER_BYTES = 8
 def checksum32(payload: bytes) -> int:
     """Adler-32 of the payload (cheap enough for a controller FSM)."""
     return zlib.adler32(payload) & 0xFFFFFFFF
+
+
+# -- shared wire encoders ----------------------------------------------
+#
+# Every wire module in the tree (this one, ``repro.cluster.wire``, the
+# session stream of ``repro.service.stream``) encodes floats through
+# exactly one of the two codecs below, so a double that crosses any
+# boundary round-trips bit-exactly — including denormals, ``-0.0`` and
+# the largest finite exponents.  Before this was centralised the JSON
+# paths each called ``json.dumps`` with their own settings; sharing one
+# encoder is what makes the bit-exactness claim auditable in one place.
+
+def dumps_wire(obj: object) -> str:
+    """Canonical JSON for wire payloads (sorted keys, no whitespace).
+
+    Python's ``repr`` has emitted shortest round-trip float literals
+    since 3.1, so ``loads_wire(dumps_wire(x))`` reproduces every finite
+    double bit for bit.  Non-finite floats are rejected: NaN/Infinity
+    tokens are not JSON, and a peer's parser may silently coerce them.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def loads_wire(text: str) -> object:
+    """Inverse of :func:`dumps_wire` (plain ``json.loads``)."""
+    return json.loads(text)
+
+
+def pack_doubles(values: Sequence[float]) -> bytes:
+    """Little-endian IEEE-754 doubles — the binary-exact fast path."""
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def unpack_doubles(data: bytes) -> List[float]:
+    """Inverse of :func:`pack_doubles`."""
+    if len(data) % 8:
+        raise ValueError(
+            f"double payload of {len(data)} bytes is not a multiple of 8"
+        )
+    return list(struct.unpack(f"<{len(data) // 8}d", data))
 
 
 @dataclass(frozen=True)

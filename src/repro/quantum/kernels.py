@@ -752,6 +752,11 @@ class ReplayCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+        #: key -> pin count.  Pinned programs (active sessions hold one
+        #: per measurement group) are exempt from LRU eviction: an open
+        #: session's whole point is that its compiled skeleton stays
+        #: resident between parameter rebinds.
+        self._pins: Dict[str, int] = {}
         self.stats = StatGroup("replay_cache")
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
@@ -759,6 +764,39 @@ class ReplayCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def pin(self, key: str) -> None:
+        """Exempt ``key`` from eviction (counted; pair with unpin)."""
+        if key in self._entries:
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: str) -> None:
+        """Drop one pin on ``key``; the last unpin re-enables eviction."""
+        count = self._pins.get(key, 0)
+        if count <= 1:
+            self._pins.pop(key, None)
+        else:
+            self._pins[key] = count - 1
+
+    @property
+    def pinned(self) -> int:
+        return len(self._pins)
+
+    def _evict_over_bound(self) -> None:
+        """LRU-evict unpinned entries until the bound holds.
+
+        When every resident entry is pinned the cache is allowed to
+        overflow — evicting a pinned program would silently break an
+        open session's compile-once contract.
+        """
+        while len(self._entries) > self.max_entries:
+            victim = next(
+                (key for key in self._entries if key not in self._pins), None
+            )
+            if victim is None:
+                return
+            del self._entries[victim]
+            self._evictions.increment()
 
     def get_or_compile(
         self,
@@ -781,9 +819,7 @@ class ReplayCache:
         program = compile_circuit(circuit, parameters, fuse=fuse)
         program.key = key
         self._entries[key] = program
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evictions.increment()
+        self._evict_over_bound()
         return program
 
     def adopt(self, key: str, program: CompiledProgram) -> CompiledProgram:
@@ -805,9 +841,7 @@ class ReplayCache:
         self._misses.increment()
         program.key = key
         self._entries[key] = program
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evictions.increment()
+        self._evict_over_bound()
         return program
 
     def trim(self) -> None:
@@ -817,12 +851,11 @@ class ReplayCache:
         after the fact — e.g. a forked pool worker inheriting the
         parent's populated cache along with a tighter ``replay_budget``.
         """
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evictions.increment()
+        self._evict_over_bound()
 
     def clear(self) -> None:
         self._entries.clear()
+        self._pins.clear()
 
 
 #: Process-wide program cache shared by samplers/backends.

@@ -8,7 +8,7 @@ content-addressed evaluation cache.  See DESIGN.md § "Service layer".
 """
 
 from repro.service.admission import AdmissionController
-from repro.service.api import BatchOutcome, ServiceAPI
+from repro.service.api import BatchOutcome, ServiceAPI, ServiceHost
 from repro.service.coalescer import RequestCoalescer
 from repro.service.drr import DeficitRoundRobin, jain_index
 from repro.service.health import BackendHealth, HealthRegistry
@@ -21,6 +21,13 @@ from repro.service.jobs import (
     SubmitOutcome,
 )
 from repro.service.service import JobService, ServiceConfig
+from repro.service.sessions import (
+    Session,
+    SessionError,
+    SessionManager,
+    SessionServer,
+    drive_session,
+)
 
 __all__ = [
     "AdmissionController",
@@ -37,6 +44,12 @@ __all__ = [
     "RequestCoalescer",
     "ServiceAPI",
     "ServiceConfig",
+    "ServiceHost",
+    "Session",
+    "SessionError",
+    "SessionManager",
+    "SessionServer",
     "SubmitOutcome",
+    "drive_session",
     "jain_index",
 ]

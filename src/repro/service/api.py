@@ -15,8 +15,10 @@ status), use :class:`JobService` directly inside your own loop.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.jobs import JobSpec, SubmitOutcome, malformed_rejection
 from repro.service.service import JobService, ServiceConfig
@@ -142,3 +144,107 @@ class ServiceAPI:
         finally:
             self.service.close()
         return BatchOutcome(outcomes=outcomes, metrics=self.metrics())
+
+
+class ServiceHost:
+    """A resident :class:`JobService` on its own event-loop thread.
+
+    ``run_batch`` owns the loop for one batch and exits when the queue
+    drains — sessions need the opposite: a service that stays up,
+    holding open reservations between requests from *other* threads
+    (a socket server, the CLI, a benchmark driver).  The host runs
+    :meth:`JobService.pump` on a dedicated thread and marshals every
+    call onto that loop, so the service's single-threaded scheduling
+    invariants hold unchanged.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        service: Optional[JobService] = None,
+        telemetry=None,
+        events=None,
+    ) -> None:
+        self.service = service or JobService(
+            config, telemetry=telemetry, events=events
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServiceHost":
+        if self._thread is not None:
+            return self  # already running: entering a started host is a no-op
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-host", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("service host failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self.call(self.service.stop_pump)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.service.close()
+        self._loop = None
+        self._ready.clear()
+
+    def __enter__(self) -> "ServiceHost":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.service.pump()
+
+        asyncio.run(main())
+
+    # -- marshalling ---------------------------------------------------
+    def call(self, fn: Callable, *args):
+        """Run ``fn(*args)`` on the service loop; block for the result."""
+        if self._loop is None:
+            raise RuntimeError("service host is not running")
+        done: "concurrent.futures.Future" = concurrent.futures.Future()
+
+        def runner() -> None:
+            try:
+                done.set_result(fn(*args))
+            except BaseException as exc:
+                done.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(runner)
+        return done.result()
+
+    def stream(self, coro) -> "concurrent.futures.Future":
+        """Schedule a coroutine on the service loop (non-blocking)."""
+        if self._loop is None:
+            raise RuntimeError("service host is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    # -- client surface (thread-safe) ----------------------------------
+    def submit(self, spec: JobSpec, tenant: str = "default") -> SubmitOutcome:
+        return self.call(self.service.submit, spec, tenant)
+
+    def open_session(self, spec: JobSpec, tenant: str = "default"):
+        return self.call(self.service.open_session, spec, tenant)
+
+    def close_session(self, session_id: str) -> Dict[str, object]:
+        return self.call(self.service.close_session, session_id)
+
+    def evaluate(self, session_id: str, vectors, shots: int = 0) -> List[float]:
+        """Stream one batch through the resident service, blocking."""
+        return self.stream(
+            self.service.submit_stream_batch(session_id, list(vectors), shots)
+        ).result()
+
+    def metrics(self) -> Dict[str, object]:
+        return self.call(self.service.metrics_snapshot)

@@ -28,7 +28,7 @@ import enum
 import hashlib
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.vqa.runner import HybridResult
 
@@ -261,6 +261,31 @@ class JobRecord:
     #: when the service runs with ``sim_trace=True``); typed loosely so
     #: the job model keeps no hard dependency on the telemetry layer.
     trace: Optional[object] = None
+    #: completion callbacks, fired exactly once when the record reaches
+    #: a terminal state — *after* the state is recorded, so a callback
+    #: observing ``record.state`` always sees the settled truth.  A job
+    #: whose ``cancel()`` returned True therefore never delivers a
+    #: ``done`` callback: settlement and delivery are one atomic step
+    #: on the event loop (see ``JobService._settle_one``).
+    callbacks: List[Callable[["JobRecord"], None]] = field(default_factory=list)
+    #: latch making delivery idempotent across settle paths.
+    callbacks_delivered: bool = False
+
+    def add_done_callback(self, fn: Callable[["JobRecord"], None]) -> None:
+        """Register a completion callback (fires immediately when the
+        record already settled and delivered)."""
+        if self.callbacks_delivered:
+            fn(self)
+            return
+        self.callbacks.append(fn)
+
+    def deliver_callbacks(self) -> None:
+        """Fire completion callbacks exactly once (idempotent)."""
+        if self.callbacks_delivered or not self.state.terminal:
+            return
+        self.callbacks_delivered = True
+        for callback in self.callbacks:
+            callback(self)
 
     @property
     def latency_s(self) -> Optional[float]:

@@ -72,6 +72,12 @@ from repro.service.jobs import (
     SubmitOutcome,
     make_job_id,
 )
+from repro.service.sessions import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    Session,
+    SessionError,
+    SessionManager,
+)
 from repro.sim.stats import StatGroup
 from repro.telemetry.export import EventLog
 from repro.telemetry.metrics import (
@@ -130,6 +136,10 @@ class ServiceConfig:
     #: record per-job sim traces (platform ``trace_events`` + the
     #: engine's evaluation spans) for the merged Chrome trace export.
     sim_trace: bool = False
+    #: idle-lease length of streamed sessions; an open session that
+    #: goes this long without a batch or renewal is reaped and its
+    #: admission charge released.
+    session_lease_s: float = DEFAULT_LEASE_TIMEOUT_S
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -156,6 +166,10 @@ class ServiceConfig:
             raise ValueError(
                 f"retry_backoff_max_s ({self.retry_backoff_max_s}) must not be "
                 f"below retry_backoff_s ({self.retry_backoff_s})"
+            )
+        if self.session_lease_s <= 0:
+            raise ValueError(
+                f"session_lease_s must be positive, got {self.session_lease_s}"
             )
 
 
@@ -216,6 +230,23 @@ class _CancellablePlatform:
         return self._platform.finish()
 
 
+@dataclass
+class _StreamBatch:
+    """One streamed session request queued against the job scheduler.
+
+    Stream batches ride the same deficit-round-robin queue as one-shot
+    jobs, costed in circuit evaluations (one per vector) — a tenant
+    streaming a hot session is charged against its deficit exactly like
+    a tenant submitting jobs, so sessions cannot starve the batch tier.
+    """
+
+    session: Session
+    vectors: List
+    shots: int
+    future: "asyncio.Future"
+    enqueued_s: float = 0.0
+
+
 class JobService:
     """Multi-tenant async job service over the platform pool."""
 
@@ -238,7 +269,7 @@ class JobService:
             per_tenant_quotas=self.config.per_tenant_quotas,
         )
         self.coalescer = RequestCoalescer()
-        self.scheduler: DeficitRoundRobin[JobRecord] = DeficitRoundRobin(
+        self.scheduler: DeficitRoundRobin = DeficitRoundRobin(
             quantum=self.config.quantum
         )
         self.cache: Optional[EvalCache] = (
@@ -255,6 +286,19 @@ class JobService:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._active: "set[asyncio.Task]" = set()
         self._wake: Optional[asyncio.Event] = None
+        self._pumping = False
+        # Session tier: shares the admission controller (sessions and
+        # jobs draw on one tenant quota), the health registry and the
+        # eval cache, so streamed and one-shot evaluations of the same
+        # content are served from the same entries.
+        self.sessions = SessionManager(
+            admission=self.admission,
+            health=self.health,
+            clock=clock,
+            lease_timeout_s=self.config.session_lease_s,
+            engine_factory=self._session_engine,
+            events=events,
+        )
 
         # -- telemetry (optional; zero cost when absent) ----------------
         self.telemetry = telemetry
@@ -290,8 +334,18 @@ class JobService:
     # ------------------------------------------------------------------
     # client surface (event-loop thread only)
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec, tenant: str = "default") -> SubmitOutcome:
-        """Admit a job (or return a structured rejection) and queue it."""
+    def submit(
+        self,
+        spec: JobSpec,
+        tenant: str = "default",
+        on_done: Optional[Callable[[JobRecord], None]] = None,
+    ) -> SubmitOutcome:
+        """Admit a job (or return a structured rejection) and queue it.
+
+        ``on_done`` fires exactly once when the job settles, with the
+        terminal state already recorded — a callback never observes
+        ``done`` on a job whose ``cancel()`` succeeded.
+        """
         self.stats.counter("submitted").increment()
         rejection = self.admission.try_admit(tenant)
         if rejection is not None:
@@ -309,6 +363,8 @@ class JobService:
             spec=spec,
             submitted_s=self._clock(),
         )
+        if on_done is not None:
+            record.callbacks.append(on_done)
         self.records[record.job_id] = record
         primary = self.coalescer.attach(record)
         if primary is None:
@@ -356,16 +412,71 @@ class JobService:
         return True
 
     # ------------------------------------------------------------------
+    # session tier (event-loop thread only)
+    # ------------------------------------------------------------------
+    def open_session(self, spec: JobSpec, tenant: str = "default") -> Session:
+        """Open a parametric-compilation session (admission-counted).
+
+        Raises :class:`~repro.service.sessions.SessionError` on quota
+        or setup failure — sessions are a streaming surface, so the
+        structured-error contract is exception-shaped rather than the
+        submit path's ``SubmitOutcome``.
+        """
+        session = self.sessions.open(spec, tenant=tenant)
+        self.stats.counter("sessions_opened").increment()
+        return session
+
+    def close_session(self, session_id: str) -> Dict[str, object]:
+        stats = self.sessions.close(session_id)
+        self._notify()
+        return stats
+
+    async def submit_stream_batch(
+        self, session_id: str, vectors: List, shots: int = 0
+    ) -> List[float]:
+        """Queue one streamed batch and await its energies.
+
+        Validation (session state, lease renewal, backend health,
+        vector shape) happens here on the loop; the evaluation itself
+        is scheduled through the deficit-round-robin queue and runs on
+        a worker slot like any job.
+        """
+        session = self.sessions.checkout(session_id)
+        batch_vectors = self.sessions.validate_batch(session, vectors)
+        loop = asyncio.get_running_loop()
+        batch = _StreamBatch(
+            session=session,
+            vectors=batch_vectors,
+            shots=shots,
+            future=loop.create_future(),
+            enqueued_s=self._clock(),
+        )
+        self.scheduler.enqueue(
+            session.tenant, batch, float(len(batch_vectors))
+        )
+        self._notify()
+        return await batch.future
+
+    def _session_engine(self, spec: JobSpec) -> EvaluationEngine:
+        # Same stack as a one-shot job's platform (same core, same
+        # shared cache, same seeding) — which is exactly why a streamed
+        # optimisation reproduces the one-shot energy history bit for
+        # bit: the evaluation keys coincide.
+        return build_engine(
+            spec,
+            core=self.config.core,
+            timing_only=self.config.timing_only,
+            cache=self.cache,
+            engine_workers=1,
+        )
+
+    # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
     async def drain(self) -> None:
         """Run until every open job reaches a terminal state."""
         self._wake = asyncio.Event()
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.config.workers,
-                thread_name_prefix="repro-service",
-            )
+        self._ensure_executor()
         try:
             while True:
                 self._dispatch()
@@ -376,7 +487,36 @@ class JobService:
         finally:
             self._wake = None
 
+    async def pump(self) -> None:
+        """Run the dispatch loop until :meth:`stop_pump` — the resident
+        mode a session host needs, where an *idle* service keeps
+        serving: sessions stay open between batches, and new work can
+        arrive at any time from other threads via the wake event."""
+        self._wake = asyncio.Event()
+        self._ensure_executor()
+        self._pumping = True
+        try:
+            while self._pumping:
+                self._dispatch()
+                await self._wake.wait()
+                self._wake.clear()
+        finally:
+            self._pumping = False
+            self._wake = None
+
+    def stop_pump(self) -> None:
+        self._pumping = False
+        self._notify()
+
+    def _ensure_executor(self) -> None:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-service",
+            )
+
     def close(self) -> None:
+        self.sessions.close_all()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -386,12 +526,26 @@ class JobService:
             self._wake.set()
 
     def _dispatch(self) -> None:
-        """Fill free worker slots in deficit-round-robin order."""
+        """Fill free worker slots in deficit-round-robin order.
+
+        Stream batches and one-shot jobs come out of the *same* DRR
+        queue and consume the same slots — fairness is by evaluation
+        cost, not by tier.  Every pass also sweeps expired session
+        leases, so an abandoned session frees its quota on the next
+        scheduling activity rather than waiting for an explicit close.
+        """
+        for session_id in self.sessions.expire_idle(self._clock()):
+            self.stats.counter("sessions_expired").increment()
         while len(self._active) < self.config.workers:
             popped = self.scheduler.pop()
             if popped is None:
                 return
             _tenant, record, _cost = popped
+            if isinstance(record, _StreamBatch):
+                task = asyncio.create_task(self._run_stream_batch(record))
+                self._active.add(task)
+                task.add_done_callback(self._task_done)
+                continue
             if record.state is not JobState.QUEUED:
                 continue  # cancelled while queued; slot not consumed
             record.state = JobState.SCHEDULED
@@ -409,6 +563,53 @@ class JobService:
         if not task.cancelled():
             task.exception()  # surface tracebacks instead of warnings
         self._notify()
+
+    async def _run_stream_batch(self, batch: _StreamBatch) -> None:
+        """Worker-slot body of one streamed session batch."""
+        loop = asyncio.get_running_loop()
+        start = self._clock()
+        session = batch.session
+        try:
+            values = await loop.run_in_executor(
+                self._executor,
+                self.sessions.run_batch,
+                session,
+                batch.vectors,
+                batch.shots,
+            )
+        except SessionError as exc:
+            self.stats.counter("stream_errors").increment()
+            if not batch.future.done():
+                batch.future.set_exception(exc)
+            return
+        except Exception as exc:  # defensive: never strand the waiter
+            if not batch.future.done():
+                batch.future.set_exception(exc)
+            return
+        end = self._clock()
+        self.stats.counter("stream_batches").increment()
+        self.stats.counter("stream_vectors").increment(len(batch.vectors))
+        self.stats.accumulator("stream_batch_latency_s").observe(
+            end - batch.enqueued_s
+        )
+        # One span per batch on the session's own track, so the merged
+        # trace shows a session as a dense row of short spans where a
+        # job is one long one.
+        self.trace.record(
+            track=f"session/{session.tenant}",
+            name=f"{session.session_id}[{session.batches}]",
+            start_ps=int((start - self._epoch) * 1e12),
+            end_ps=int((end - self._epoch) * 1e12),
+        )
+        if self.events is not None:
+            self.events.emit(
+                "session_batch",
+                session_id=session.session_id,
+                tenant=session.tenant,
+                vectors=len(batch.vectors),
+            )
+        if not batch.future.done():
+            batch.future.set_result(values)
 
     # ------------------------------------------------------------------
     # one job
@@ -433,6 +634,18 @@ class JobService:
                     )
                 else:
                     result = await future
+                if record.client_cancelled:
+                    # The client's cancel() returned True while the
+                    # worker was finishing its last evaluation — the
+                    # computation completed, but the job was already
+                    # promised as cancelled.  Settling DONE here would
+                    # fire completion callbacks *after* a successful
+                    # cancel; the cancel wins, atomically with
+                    # settlement on this loop.
+                    self._finish(
+                        record, JobState.CANCELLED, error="cancelled by client"
+                    )
+                    return
                 backend.record_success()
                 self._finish(record, JobState.DONE, result=result)
                 return
@@ -464,6 +677,14 @@ class JobService:
             except Exception as exc:  # worker failure: retry with backoff
                 error = f"{type(exc).__name__}: {exc}"
                 backend.record_failure(error)
+                if record.client_cancelled:
+                    # A cancel raced the failure: honour the client's
+                    # intent instead of burning retries on a job nobody
+                    # is waiting for.
+                    self._finish(
+                        record, JobState.CANCELLED, error="cancelled by client"
+                    )
+                    return
                 if attempt + 1 < self.config.max_attempts:
                     self.stats.counter("retries").increment()
                     delay = self._backoff_delay(record.job_id, attempt)
@@ -628,6 +849,10 @@ class JobService:
             end_ps=int((record.finished_s - self._epoch) * 1e12),
         )
         self.admission.release(record.tenant)
+        # Callbacks fire only here — after the terminal state, result
+        # and release are all recorded — which is what makes
+        # cancel-vs-settle atomic from a callback's point of view.
+        record.deliver_callbacks()
 
     def _requeue(self, followers: List[JobRecord]) -> None:
         """Re-flight followers orphaned by a cancelled primary."""
@@ -737,6 +962,7 @@ class JobService:
                 "fairness_jain": jain_index(list(served.values())),
             },
             "jobs_by_state": jobs_by_state,
+            "sessions": self.sessions.snapshot(),
             "backends": self.health.snapshot(),
             "latency_s": {
                 "count": len(latencies),

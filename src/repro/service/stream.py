@@ -1,0 +1,314 @@
+"""Binary streaming protocol for parametric-compilation sessions.
+
+The session tier's hot path: after ``open_session`` registered a
+circuit structure, every request is *just a parameter vector* — no
+JobSpec, no dict validation, no JSON.  Frames reuse the layout shared
+by :mod:`repro.faults.protocol` and :mod:`repro.cluster.wire`::
+
+    <u32 payload length> <u32 sequence> <u32 adler32> <payload bytes>
+
+with the payload's first byte selecting the message kind.  The two
+request/response kinds that carry floats (``EVAL`` / ``VALUE``) pack
+them as little-endian IEEE-754 doubles
+(:func:`repro.faults.protocol.pack_doubles`), so streamed vectors and
+returned energies are bit-exact by construction.  Control kinds
+(``OPEN`` / ``OPENED`` / ``ERROR`` / ``CLOSE`` / ``CLOSED``) happen
+once per session or on failures, where canonical JSON
+(:func:`~repro.faults.protocol.dumps_wire`) wins on debuggability.
+
+Payload layouts after the kind byte::
+
+    OPEN    canonical JSON {"spec": <job-spec dict>, "tenant": str}
+    OPENED  canonical JSON {"session_id", "n_params", "structure_hash",
+                            "backend_id", "lease_s"}
+    EVAL    <u32 shots> <u32 n_vectors> <u32 n_params> + f64[v*p]
+            (shots == 0 means "the session's default")
+    VALUE   f64[n_vectors] energies, request order
+    ERROR   canonical JSON {"code": str, "message": str}
+    CLOSE   empty
+    CLOSED  canonical JSON session stats
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.protocol import (
+    checksum32,
+    dumps_wire,
+    loads_wire,
+    pack_doubles,
+)
+
+#: Frame header: payload length, sequence number, Adler-32 checksum —
+#: the exact layout of :data:`repro.cluster.wire.HEADER`.
+HEADER = struct.Struct("<III")
+
+#: A parameter vector is a few hundred doubles at most; anything
+#: claiming more than this is a desynchronised stream.
+MAX_PAYLOAD_BYTES = 4 * 1024 * 1024
+
+_EVAL_HEADER = struct.Struct("<III")
+
+# -- message kinds (payload byte 0) -------------------------------------
+KIND_OPEN = 0x01    #: client -> server: register structure, open session
+KIND_OPENED = 0x02  #: server -> client: session handle
+KIND_EVAL = 0x03    #: client -> server: parameter vector batch
+KIND_VALUE = 0x04   #: server -> client: energies for one EVAL
+KIND_ERROR = 0x05   #: server -> client: structured failure
+KIND_CLOSE = 0x06   #: client -> server: release the session
+KIND_CLOSED = 0x07  #: server -> client: final session stats
+
+_KNOWN_KINDS = frozenset(
+    (KIND_OPEN, KIND_OPENED, KIND_EVAL, KIND_VALUE, KIND_ERROR,
+     KIND_CLOSE, KIND_CLOSED)
+)
+
+
+class StreamError(ValueError):
+    """A frame failed validation (checksum, sequence, length, kind)."""
+
+
+class StreamRemoteError(RuntimeError):
+    """The server answered a request with a structured ERROR frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+# -- encoding -----------------------------------------------------------
+def encode_frame(sequence: int, kind: int, body: bytes = b"") -> bytes:
+    """One framed message, ready for ``sendall``."""
+    payload = bytes((kind,)) + body
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise StreamError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte stream bound"
+        )
+    return (
+        HEADER.pack(len(payload), sequence & 0xFFFFFFFF, checksum32(payload))
+        + payload
+    )
+
+
+def pack_eval(vectors: Sequence[np.ndarray], shots: int = 0) -> bytes:
+    """EVAL body: shot count + vector batch as packed doubles."""
+    if not len(vectors):
+        raise StreamError("an EVAL frame needs at least one vector")
+    first = np.asarray(vectors[0], dtype=np.float64)
+    n_params = int(first.size)
+    flat: List[float] = []
+    for vector in vectors:
+        array = np.asarray(vector, dtype=np.float64)
+        if array.size != n_params:
+            raise StreamError(
+                f"ragged vector batch: {array.size} params after {n_params}"
+            )
+        flat.extend(float(v) for v in array)
+    return (
+        _EVAL_HEADER.pack(int(shots), len(vectors), n_params)
+        + pack_doubles(flat)
+    )
+
+
+def unpack_eval(body: bytes) -> Tuple[np.ndarray, int]:
+    """Inverse of :func:`pack_eval` → ``(vectors (v, p), shots)``."""
+    if len(body) < _EVAL_HEADER.size:
+        raise StreamError("EVAL body shorter than its header")
+    shots, n_vectors, n_params = _EVAL_HEADER.unpack_from(body)
+    expected = _EVAL_HEADER.size + 8 * n_vectors * n_params
+    if n_vectors < 1 or len(body) != expected:
+        raise StreamError(
+            f"EVAL body of {len(body)} bytes does not hold "
+            f"{n_vectors}x{n_params} doubles"
+        )
+    flat = np.frombuffer(body, dtype="<f8", offset=_EVAL_HEADER.size)
+    return flat.reshape(n_vectors, n_params).copy(), int(shots)
+
+
+def pack_values(values: Sequence[float]) -> bytes:
+    """VALUE body: energies as packed doubles (bit-exact)."""
+    return pack_doubles([float(v) for v in values])
+
+
+def unpack_values(body: bytes) -> List[float]:
+    if len(body) % 8:
+        raise StreamError(f"VALUE body of {len(body)} bytes is not doubles")
+    return [float(v) for v in np.frombuffer(body, dtype="<f8")]
+
+
+def pack_json(obj: Dict[str, object]) -> bytes:
+    return dumps_wire(obj).encode()
+
+
+def unpack_json(body: bytes) -> Dict[str, object]:
+    try:
+        obj = loads_wire(body.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise StreamError(f"control payload is not canonical JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise StreamError("control payload is not a JSON object")
+    return obj
+
+
+def pack_error(code: str, message: str) -> bytes:
+    return pack_json({"code": code, "message": message})
+
+
+def unpack_error(body: bytes) -> Tuple[str, str]:
+    obj = unpack_json(body)
+    return str(obj.get("code", "error")), str(obj.get("message", ""))
+
+
+# -- framing ------------------------------------------------------------
+class StreamDecoder:
+    """Incremental receiver: feed bytes, collect ``(seq, kind, body)``.
+
+    Same discipline as :class:`repro.cluster.wire.FrameDecoder`: frames
+    must arrive in sequence with valid checksums; a violation raises
+    :class:`StreamError` and the connection should be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._expected_sequence = 0
+        self.frames_accepted = 0
+
+    def feed(self, data: bytes) -> List[Tuple[int, int, bytes]]:
+        self._buffer.extend(data)
+        frames: List[Tuple[int, int, bytes]] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Tuple[int, int, bytes]]:
+        if len(self._buffer) < HEADER.size:
+            return None
+        length, sequence, checksum = HEADER.unpack_from(self._buffer)
+        if length > MAX_PAYLOAD_BYTES:
+            raise StreamError(
+                f"frame claims {length} payload bytes "
+                f"(bound {MAX_PAYLOAD_BYTES}); stream desynchronised"
+            )
+        if len(self._buffer) < HEADER.size + length:
+            return None
+        payload = bytes(self._buffer[HEADER.size:HEADER.size + length])
+        del self._buffer[:HEADER.size + length]
+        if sequence != self._expected_sequence:
+            raise StreamError(
+                f"sequence gap: expected {self._expected_sequence}, "
+                f"got {sequence}"
+            )
+        if checksum32(payload) != checksum:
+            raise StreamError(f"checksum mismatch on frame {sequence}")
+        if not payload or payload[0] not in _KNOWN_KINDS:
+            raise StreamError(
+                f"frame {sequence} has unknown kind "
+                f"{payload[0] if payload else 'none'}"
+            )
+        self._expected_sequence = (sequence + 1) & 0xFFFFFFFF
+        self.frames_accepted += 1
+        return sequence, payload[0], payload[1:]
+
+
+class StreamWriter:
+    """Sender side: stamps outgoing frames with the next sequence."""
+
+    def __init__(self) -> None:
+        self._next_sequence = 0
+
+    def encode(self, kind: int, body: bytes = b"") -> bytes:
+        data = encode_frame(self._next_sequence, kind, body)
+        self._next_sequence = (self._next_sequence + 1) & 0xFFFFFFFF
+        return data
+
+
+# -- client -------------------------------------------------------------
+class SessionClient:
+    """Blocking socket client for one streamed session.
+
+    Protocol per connection: one OPEN, any number of EVALs (each
+    answered by VALUE or ERROR in order), one CLOSE.  ERROR answers
+    raise :class:`StreamRemoteError` with the server's structured code;
+    the session itself stays usable unless the code says otherwise.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._writer = StreamWriter()
+        self._decoder = StreamDecoder()
+        self._inbox: List[Tuple[int, int, bytes]] = []
+        self.session: Optional[Dict[str, object]] = None
+
+    def _recv_frame(self) -> Tuple[int, int, bytes]:
+        while not self._inbox:
+            data = self._sock.recv(65536)
+            if not data:
+                raise StreamError("server closed the stream mid-request")
+            self._inbox.extend(self._decoder.feed(data))
+        return self._inbox.pop(0)
+
+    def open(
+        self, spec_dict: Dict[str, object], tenant: str = "default"
+    ) -> Dict[str, object]:
+        body = pack_json({"spec": spec_dict, "tenant": tenant})
+        self._sock.sendall(self._writer.encode(KIND_OPEN, body))
+        _seq, kind, reply = self._recv_frame()
+        if kind == KIND_ERROR:
+            code, message = unpack_error(reply)
+            raise StreamRemoteError(code, message)
+        if kind != KIND_OPENED:
+            raise StreamError(f"expected OPENED, got kind {kind}")
+        self.session = unpack_json(reply)
+        return self.session
+
+    def evaluate(
+        self, vectors: Sequence[np.ndarray], shots: int = 0
+    ) -> List[float]:
+        """Stream one vector batch; block for its energies."""
+        self._sock.sendall(
+            self._writer.encode(KIND_EVAL, pack_eval(vectors, shots))
+        )
+        _seq, kind, reply = self._recv_frame()
+        if kind == KIND_ERROR:
+            code, message = unpack_error(reply)
+            raise StreamRemoteError(code, message)
+        if kind != KIND_VALUE:
+            raise StreamError(f"expected VALUE, got kind {kind}")
+        values = unpack_values(reply)
+        if len(values) != len(vectors):
+            raise StreamError(
+                f"server returned {len(values)} energies for "
+                f"{len(vectors)} vectors"
+            )
+        return values
+
+    def close(self) -> Optional[Dict[str, object]]:
+        """Release the session; returns the server's final stats."""
+        stats: Optional[Dict[str, object]] = None
+        try:
+            self._sock.sendall(self._writer.encode(KIND_CLOSE))
+            _seq, kind, reply = self._recv_frame()
+            if kind == KIND_CLOSED:
+                stats = unpack_json(reply)
+        except (OSError, StreamError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        return stats
+
+    def __enter__(self) -> "SessionClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -164,6 +164,7 @@ def register_service(
     register_stat_group(registry, service.stats, prefix)
     register_stat_group(registry, service.admission.stats, prefix)
     register_stat_group(registry, service.coalescer.stats, prefix)
+    register_stat_group(registry, service.sessions.stats, prefix)
     register_planner(registry, prefix)
     if service.cache is not None:
         register_eval_cache(registry, service.cache, prefix)
@@ -188,6 +189,20 @@ def register_service(
         return out
 
     registry.register_collector(collect_scheduler)
+
+    def collect_sessions() -> Dict[str, float]:
+        from repro.quantum.kernels import PROGRAM_CACHE
+
+        return {
+            metric_key("sessions.open", prefix): float(
+                service.sessions.open_sessions
+            ),
+            metric_key("sessions.pinned_programs", prefix): float(
+                PROGRAM_CACHE.pinned
+            ),
+        }
+
+    registry.register_collector(collect_sessions)
 
 
 def register_cluster(

@@ -438,6 +438,56 @@ class TestServiceLifecycle:
         assert service.result("job-999999-deadbeef") is None
         assert service.cancel("job-999999-deadbeef") is False
 
+    def test_cancel_vs_settle_atomic_callback_never_sees_done(self):
+        """Regression: a cancel that lands while the worker is finishing
+        the job's *last* evaluation used to lose the race — the run task
+        settled DONE and fired the completion callback after ``cancel()``
+        had already returned True.  The cancel must win atomically with
+        settlement: the callback observes CANCELLED, never DONE."""
+        release = threading.Event()
+        last_eval = threading.Event()
+
+        class LastEvalBlocks(FakePlatform):
+            def __init__(self) -> None:
+                super().__init__()
+                self.calls = 0
+
+            def evaluate(self, values, shots):
+                self.calls += 1
+                if self.calls == 3:  # spsa x 1 iteration = 3 evaluations
+                    last_eval.set()
+                    release.wait(timeout=5.0)
+                return -1.0
+
+        service = JobService(
+            ServiceConfig(workers=1, max_attempts=1, cache_entries=0),
+            platform_factory=lambda spec: LastEvalBlocks(),
+        )
+        seen = []
+
+        async def scenario():
+            outcome = service.submit(
+                spec_for(0, iterations=1), "a",
+                on_done=lambda record: seen.append(record.state),
+            )
+            drain = asyncio.create_task(service.drain())
+            await asyncio.get_running_loop().run_in_executor(
+                None, last_eval.wait, 5.0
+            )
+            # The computation is inside its final evaluation: cancel
+            # succeeds, then the evaluation completes successfully.
+            assert service.cancel(outcome.job_id) is True
+            release.set()
+            await drain
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        service.close()
+        record = service.status(outcome.job_id)
+        assert record.state is JobState.CANCELLED
+        assert record.result is None
+        assert seen == [JobState.CANCELLED]
+
 
 class TestCoalescingInService:
     def test_duplicate_submissions_execute_once(self):
