@@ -1,0 +1,267 @@
+"""Adjoint-gradient benchmark: one reverse-mode pass vs 2P+1 shifts.
+
+Measures the optimizer-step cost the adjoint engine exists to shrink.
+For each parameter count P the same 12-qubit ansatz runs one
+gradient-descent trajectory twice on the exact (``shots=0``)
+statevector path:
+
+* **shift** — ``GradientDescent(gradient="shift")``: every step probes
+  ``2P + 1`` full circuit evaluations (the textbook parameter-shift
+  rule, exact here because each parameter feeds one unit-coefficient
+  rotation);
+* **adjoint** — ``GradientDescent(gradient="adjoint")``: every step is
+  one engine gradient call — a single forward pass plus a reverse
+  sweep, ``O(3 * gates)`` state-sized work independent of P.
+
+Before timing anything, the bench pins the numerical contract: at the
+largest P the adjoint gradient must match the analytic parameter-shift
+gradient entrywise to ``PARITY_TOL``, and two back-to-back adjoint
+trajectories must produce bit-identical energy histories.  The
+speedup-vs-P curve must be monotone non-decreasing — the whole point
+is that adjoint cost does not scale with P.
+
+Results persist to ``BENCH_adjoint.json`` at the repo root;
+``--smoke`` runs a reduced configuration and fails unless the adjoint
+step is at least ``MIN_SPEEDUP_SMOKE``x the shift step at the largest
+P (full runs gate at ``MIN_SPEEDUP_FULL``x).
+
+Usage::
+
+    python benchmarks/bench_adjoint.py            # full run, update JSON
+    python benchmarks/bench_adjoint.py --smoke    # quick CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import EvaluationEngine, HybridRunner, QtenonSystem  # noqa: E402
+from repro.quantum import QuantumCircuit, compile_circuit, parameter_vector  # noqa: E402
+from repro.quantum.adjoint import adjoint_gradient  # noqa: E402
+from repro.quantum.parameters import Parameter  # noqa: E402
+from repro.vqa.hamiltonians import molecular_hamiltonian  # noqa: E402
+from repro.vqa.optimizers import GradientDescent  # noqa: E402
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_adjoint.json"
+)
+
+#: Absolute per-step floors: adjoint must beat parameter shift by this
+#: factor at the largest parameter count (theory predicts ~(2P+1)/3).
+MIN_SPEEDUP_FULL = 5.0
+MIN_SPEEDUP_SMOKE = 3.0
+
+#: Entrywise adjoint-vs-shift gradient agreement (both analytic).
+PARITY_TOL = 1e-10
+
+#: Parameter-count sweep (largest one is the headline 60-param config).
+PARAM_SWEEP = (8, 16, 32, 60)
+
+FULL = dict(qubits=12, iterations=3)
+SMOKE = dict(qubits=12, iterations=1)
+
+SEED = 7
+
+
+def _ansatz(qubits: int, n_params: int):
+    """P-parameter ladder ansatz: RY layers (one parameter per gate,
+    unit coefficient — so the pi/2 shift rule is exact per slot)
+    interleaved with CZ entangler ladders."""
+    circuit = QuantumCircuit(qubits)
+    parameters: List[Parameter] = list(parameter_vector("t", n_params))
+    for index, parameter in enumerate(parameters):
+        circuit.ry(parameter, index % qubits)
+        if index % qubits == qubits - 1:
+            for q in range(qubits - 1):
+                circuit.cz(q, q + 1)
+    return circuit, parameters
+
+
+def _run_gd(gradient: str, n_params: int, config: Dict[str, int]):
+    """One exact-path GD trajectory; returns wall-clock + history."""
+    ansatz, parameters = _ansatz(config["qubits"], n_params)
+    observable = molecular_hamiltonian(config["qubits"], seed=0)
+    engine = EvaluationEngine(
+        QtenonSystem(config["qubits"], seed=SEED), max_workers=1, seed=SEED
+    )
+    try:
+        runner = HybridRunner(
+            engine,
+            ansatz,
+            parameters,
+            observable,
+            GradientDescent(gradient=gradient),
+            shots=0,
+            iterations=config["iterations"],
+        )
+        start = time.perf_counter()
+        result = runner.run(seed=SEED)
+        elapsed = time.perf_counter() - start
+    finally:
+        engine.close()
+    steps = config["iterations"]
+    evals = (1 if gradient == "adjoint" else 2 * n_params + 1) * steps
+    return {
+        "seconds": elapsed,
+        "ms_per_step": 1_000.0 * elapsed / steps,
+        "history": list(result.cost_history),
+        "evaluations": evals,
+    }
+
+
+def _check_gradient_parity(n_params: int, config: Dict[str, int]) -> float:
+    """Max |adjoint - analytic shift| over every slot at a random point."""
+    ansatz, parameters = _ansatz(config["qubits"], n_params)
+    observable = molecular_hamiltonian(config["qubits"], seed=0)
+    program = compile_circuit(ansatz, parameters)
+    rng = np.random.default_rng(SEED)
+    vector = rng.uniform(-math.pi, math.pi, size=n_params)
+
+    def energy_at(point: np.ndarray) -> float:
+        state = program.execute(point)
+        return float(observable.expectation_statevector(state))
+
+    _energy, grad = adjoint_gradient(program, observable, vector)
+    worst = 0.0
+    for slot in range(n_params):
+        plus, minus = np.array(vector), np.array(vector)
+        plus[slot] += math.pi / 2
+        minus[slot] -= math.pi / 2
+        shift = 0.5 * (energy_at(plus) - energy_at(minus))
+        worst = max(worst, abs(float(grad[slot]) - shift))
+    return worst
+
+
+def run_bench(config: Dict[str, int]) -> Dict[str, object]:
+    headline = PARAM_SWEEP[-1]
+    parity_err = _check_gradient_parity(headline, config)
+    if parity_err > PARITY_TOL:
+        raise AssertionError(
+            f"adjoint vs parameter-shift gradients diverge: "
+            f"max |delta| = {parity_err:.3e} > {PARITY_TOL:.0e}"
+        )
+
+    first = _run_gd("adjoint", headline, config)
+    second = _run_gd("adjoint", headline, config)
+    identical = first["history"] == second["history"]
+    if not identical:
+        raise AssertionError(
+            "back-to-back adjoint trajectories diverge:\n"
+            f"  first  {first['history']}\n"
+            f"  second {second['history']}"
+        )
+
+    sweep = []
+    for n_params in PARAM_SWEEP:
+        shift = _run_gd("shift", n_params, config)
+        adjoint = _run_gd("adjoint", n_params, config)
+        sweep.append(
+            {
+                "params": n_params,
+                "shift_ms_per_step": shift["ms_per_step"],
+                "adjoint_ms_per_step": adjoint["ms_per_step"],
+                "shift_evaluations": shift["evaluations"],
+                "adjoint_evaluations": adjoint["evaluations"],
+                "speedup": shift["ms_per_step"] / adjoint["ms_per_step"],
+            }
+        )
+
+    speedups = [point["speedup"] for point in sweep]
+    monotone = all(b >= a for a, b in zip(speedups, speedups[1:]))
+    if not monotone:
+        raise AssertionError(
+            "speedup-vs-P curve is not monotone non-decreasing: "
+            + ", ".join(
+                f"P={p['params']}: {p['speedup']:.2f}x" for p in sweep
+            )
+        )
+
+    return {
+        "config": {**config, "cpu_count": os.cpu_count()},
+        "gradient_parity": True,
+        "gradient_parity_max_err": parity_err,
+        "identical_histories": identical,
+        "sweep": sweep,
+        "headline": {
+            "params": headline,
+            "speedup": sweep[-1]["speedup"],
+            "monotone_speedup": monotone,
+        },
+    }
+
+
+def _print_report(mode: str, result: Dict[str, object]) -> None:
+    config = result["config"]
+    print(
+        f"[bench_adjoint/{mode}] {config['qubits']}-qubit GD on the exact "
+        f"statevector path, {config['iterations']} iteration(s) per point"
+    )
+    print(
+        f"  gradient parity (adjoint vs analytic shift, P={PARAM_SWEEP[-1]}): "
+        f"max err {result['gradient_parity_max_err']:.2e} <= {PARITY_TOL:.0e}"
+    )
+    for point in result["sweep"]:
+        print(
+            f"  P={point['params']:>3}: shift {point['shift_ms_per_step']:8.2f} "
+            f"ms/step ({point['shift_evaluations']} evals) | adjoint "
+            f"{point['adjoint_ms_per_step']:6.2f} ms/step "
+            f"({point['adjoint_evaluations']} sweeps) | "
+            f"{point['speedup']:.2f}x"
+        )
+    print(
+        "  back-to-back adjoint histories bit-identical: "
+        f"{result['identical_histories']}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"reduced configuration; fail below {MIN_SPEEDUP_SMOKE}x speedup",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    floor = MIN_SPEEDUP_SMOKE if args.smoke else MIN_SPEEDUP_FULL
+    result = run_bench(SMOKE if args.smoke else FULL)
+    _print_report(mode, result)
+
+    speedup = result["headline"]["speedup"]
+    if speedup < floor:
+        print(
+            f"adjoint gate FAILED: {speedup:.2f}x < {floor}x required over "
+            f"the parameter-shift path at P={PARAM_SWEEP[-1]}"
+        )
+        return 1
+    print(f"adjoint gate passed ({speedup:.2f}x >= {floor}x)")
+
+    if args.smoke:
+        return 0
+
+    recorded: Dict[str, object] = {}
+    if os.path.exists(RESULT_PATH):
+        with open(RESULT_PATH) as handle:
+            recorded = json.load(handle)
+    recorded[mode] = result
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(recorded, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"recorded -> {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

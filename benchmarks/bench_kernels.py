@@ -46,7 +46,7 @@ sys.path.insert(
 )
 
 from repro import EvaluationEngine, HybridRunner, QtenonSystem  # noqa: E402
-from repro.quantum.kernels import KERNEL_STATS, ReplayCache, compile_circuit  # noqa: E402
+from repro.quantum.kernels import KERNEL_STATS, PROGRAM_CACHE, compile_circuit  # noqa: E402
 from repro.vqa import make_optimizer  # noqa: E402
 from repro.vqa.ansatz import hardware_efficient_ansatz  # noqa: E402
 from repro.vqa.hamiltonians import molecular_hamiltonian  # noqa: E402
@@ -116,13 +116,25 @@ def _run_replay(config: Dict[str, int]) -> Dict[str, float]:
         compile_circuit(ansatz, parameters).execute(vector)
     recompile_s = time.perf_counter() - start
 
-    cache = ReplayCache()
+    # Content-addressed lookups go through the process-wide
+    # PROGRAM_CACHE — the same cache the engine replays through — so
+    # the run's `program_cache_hits` counter reflects this scenario.
+    # Hit rate comes from the cache's own stats deltas (the cache may
+    # already hold this structure from the VQE scenario).
+    cache_before = PROGRAM_CACHE.stats.as_dict()
     start = time.perf_counter()
     for vector in vectors:
-        cache.get_or_compile(ansatz, parameters).execute(vector)
+        PROGRAM_CACHE.get_or_compile(ansatz, parameters).execute(vector)
     cached_s = time.perf_counter() - start
+    cache_after = PROGRAM_CACHE.stats.as_dict()
+    hits = cache_after["replay_cache.hits"] - cache_before.get(
+        "replay_cache.hits", 0
+    )
+    misses = cache_after["replay_cache.misses"] - cache_before.get(
+        "replay_cache.misses", 0
+    )
 
-    program = cache.get_or_compile(ansatz, parameters)
+    program = PROGRAM_CACHE.get_or_compile(ansatz, parameters)
     start = time.perf_counter()
     for vector in vectors:
         program.execute(vector)
@@ -135,16 +147,20 @@ def _run_replay(config: Dict[str, int]) -> Dict[str, float]:
         "replay_s": replay_s,
         "cached_speedup": recompile_s / cached_s if cached_s else float("inf"),
         "replay_speedup": recompile_s / replay_s if replay_s else float("inf"),
-        "cache_hit_rate": cache.stats.as_dict()["replay_cache.hits"]
-        / (config["replay_rounds"] + 1),
+        "cache_hit_rate": hits / max(1, hits + misses),
         "source_gates": float(program.source_gates),
         "program_nodes": float(program.n_nodes),
     }
 
 
 def run_bench(config: Dict[str, int]) -> Dict[str, object]:
+    # The counter window spans BOTH kernel-path scenarios (the VQE loop
+    # and the replay study) — the replay scenario is what exercises the
+    # process-wide program cache's hit path, so a window around the VQE
+    # run alone under-reports `program_cache_hits` as 0.
     before = KERNEL_STATS.as_dict()
     kernel = _run_vqe(False, config)
+    replay = _run_replay(config)
     after = KERNEL_STATS.as_dict()
     reference = _run_vqe(True, config)
 
@@ -159,6 +175,11 @@ def run_bench(config: Dict[str, int]) -> Dict[str, object]:
         key.split(".", 1)[1]: after[key] - before.get(key, 0)
         for key in after
     }
+    if not counters.get("program_cache_hits", 0) > 0:
+        raise AssertionError(
+            "program cache never hit during the bench window: "
+            f"counters={counters}"
+        )
     return {
         "config": {**config, "params": 60, "cpu_count": os.cpu_count()},
         "vqe": {
@@ -171,7 +192,7 @@ def run_bench(config: Dict[str, int]) -> Dict[str, object]:
             "identical_histories": True,
         },
         "kernel_counters": counters,
-        "replay": _run_replay(config),
+        "replay": replay,
     }
 
 

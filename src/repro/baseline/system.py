@@ -73,6 +73,8 @@ class DecoupledSystem:
         self._groups: List[MeasurementGroup] = []
         self._group_templates: List[QuantumCircuit] = []
         self._observable: Optional[PauliSum] = None
+        self._ansatz: Optional[QuantumCircuit] = None
+        self._ansatz_gates = 0
         self._prepared = False
 
     # ------------------------------------------------------------------
@@ -85,6 +87,8 @@ class DecoupledSystem:
                 f"ansatz has {ansatz.n_qubits} qubits, system built for {self.n_qubits}"
             )
         self._observable = observable
+        self._ansatz = ansatz.copy()
+        self._ansatz_gates = ansatz.gate_count(include_measure=False)
         self._groups = observable.grouped_qubitwise() or [MeasurementGroup()]
         self._group_templates = []
         for group in self._groups:
@@ -97,8 +101,10 @@ class DecoupledSystem:
     def evaluate(self, values: Dict[Parameter, float], shots: int) -> float:
         if not self._prepared:
             raise RuntimeError("call prepare() before evaluate()")
-        if shots <= 0:
-            raise ValueError(f"shots must be positive, got {shots}")
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        if shots == 0:
+            return self._evaluate_analytic(values)
         if self.fault_injector is not None and self._base_readout is not None:
             # Calibration drift: the assignment errors grow with the
             # evaluation index until the next (modelled) recalibration.
@@ -118,8 +124,37 @@ class DecoupledSystem:
         self.report.energies.append(float(value))
         return float(value)
 
+    def _evaluate_analytic(self, values: Dict[Parameter, float]) -> float:
+        """``shots=0``: exact host-side expectation, no FPGA round trip."""
+        self.report.evaluations += 1
+        if self.timing_only:
+            from repro.core.system import _surrogate_energy
+
+            value = _surrogate_energy(self._observable, values)
+        else:
+            value, _ = self.sampler.expectation(
+                self._ansatz.bind(values), self._observable, 0
+            )
+        self._charge(
+            "host_compute",
+            self.workload.analytic_expectation_ps(
+                self._ansatz_gates, len(self._observable.terms), self.n_qubits
+            ),
+        )
+        self.report.energies.append(float(value))
+        return float(value)
+
     def charge_optimizer_step(self, n_params: int, method: str) -> None:
         self._charge("host_compute", self.workload.optimizer_step_ps(n_params, method))
+
+    def charge_adjoint_gradient(self, n_params: int, energy: float) -> None:
+        """Account one adjoint-mode gradient pass (pure host compute)."""
+        self.report.evaluations += 1
+        self._charge(
+            "host_compute",
+            self.workload.adjoint_gradient_ps(self._ansatz_gates, self.n_qubits),
+        )
+        self.report.energies.append(float(energy))
 
     def finish(self) -> ExecutionReport:
         self.report.end_to_end_ps = self.now

@@ -124,7 +124,10 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("workload", choices=sorted(WORKLOADS))
     parser.add_argument("--qubits", type=_positive_int, default=5)
     parser.add_argument("--optimizer", choices=("gd", "spsa"), default="spsa")
-    parser.add_argument("--shots", type=_positive_int, default=200)
+    parser.add_argument(
+        "--shots", type=_nonnegative_int, default=200,
+        help="samples per evaluation (0 = exact analytic expectation)",
+    )
     parser.add_argument("--iterations", type=_positive_int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -148,7 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload", choices=sorted(WORKLOADS))
     run.add_argument("--qubits", type=_positive_int, default=8)
     run.add_argument("--optimizer", choices=("gd", "spsa"), default="spsa")
-    run.add_argument("--shots", type=_positive_int, default=500)
+    run.add_argument(
+        "--gradient", choices=("shift", "adjoint"), default="shift",
+        help="gradient method for --optimizer gd (adjoint needs --shots 0)",
+    )
+    run.add_argument(
+        "--shots", type=_nonnegative_int, default=500,
+        help="samples per evaluation (0 = exact analytic expectation)",
+    )
     run.add_argument("--iterations", type=_positive_int, default=3)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
@@ -459,7 +469,10 @@ def _make_platform(name: str, args) -> object:
             timing_only=args.timing_only,
             readout_noise=readout,
         )
-    if args.workers > 1 or args.cache_size > 0:
+    # Adjoint gradients live in the evaluation runtime, so requesting
+    # them implies the engine wrapper even at --workers 1.
+    needs_engine = getattr(args, "gradient", "shift") == "adjoint"
+    if args.workers > 1 or args.cache_size > 0 or needs_engine:
         platform = EvaluationEngine(
             platform,
             max_workers=args.workers,
@@ -477,7 +490,11 @@ def _run_one(platform_name: str, args):
         workload.ansatz,
         workload.parameters,
         workload.observable,
-        make_optimizer(args.optimizer, seed=args.seed),
+        make_optimizer(
+            args.optimizer,
+            seed=args.seed,
+            gradient=getattr(args, "gradient", "shift"),
+        ),
         shots=args.shots,
         iterations=args.iterations,
     )
@@ -485,6 +502,19 @@ def _run_one(platform_name: str, args):
 
 
 def cmd_run(args) -> int:
+    if args.gradient != "shift" and args.optimizer != "gd":
+        print(
+            "error: --gradient adjoint requires --optimizer gd",
+            file=sys.stderr,
+        )
+        return 2
+    if args.gradient == "adjoint" and args.shots != 0:
+        print(
+            "note: adjoint gradients are analytic and need --shots 0; "
+            f"at {args.shots} shots every step falls back to parameter "
+            "shift",
+            file=sys.stderr,
+        )
     if args.qubits > 20 and not args.timing_only and args.backend != "stabilizer":
         print(
             f"note: {args.qubits} qubits exceeds exact statevector "

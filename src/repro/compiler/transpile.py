@@ -60,6 +60,8 @@ def _lower_op(out: QuantumCircuit, op: Operation) -> None:
         out.rz(-_PI / 2, qubits[0])
     elif name == "t":
         out.rz(_PI / 4, qubits[0])
+    elif name == "tdg":
+        out.rz(-_PI / 4, qubits[0])
     elif name == "h":
         _emit_h(out, qubits[0])
     elif name == "cx":

@@ -170,6 +170,8 @@ class QtenonSystem:
         self._incremental: Optional[IncrementalCompiler] = None
         self._groups: List[MeasurementGroup] = []
         self._observable: Optional[PauliSum] = None
+        self._ansatz: Optional[QuantumCircuit] = None
+        self._ansatz_gates = 0
         self._prepared = False
 
     # ------------------------------------------------------------------
@@ -182,6 +184,8 @@ class QtenonSystem:
                 f"ansatz has {ansatz.n_qubits} qubits, system built for {self.n_qubits}"
             )
         self._observable = observable
+        self._ansatz = ansatz.copy()
+        self._ansatz_gates = ansatz.gate_count(include_measure=False)
         self._groups = observable.grouped_qubitwise() or [
             # observable with only a constant: still run & measure
             MeasurementGroup()
@@ -211,8 +215,12 @@ class QtenonSystem:
         """One circuit evaluation of ⟨observable⟩ at ``values``."""
         if not self._prepared:
             raise RuntimeError("call prepare() before evaluate()")
-        if shots <= 0:
-            raise ValueError(f"shots must be positive, got {shots}")
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        if shots == 0:
+            # Analytic path: no device run, no RNG consumption — the
+            # exact expectation is pure host compute.
+            return self._evaluate_analytic(values)
         if self.fault_injector is not None and self._base_readout is not None:
             # Calibration drift: assignment errors grow with the
             # evaluation index until the next (modelled) recalibration.
@@ -250,9 +258,48 @@ class QtenonSystem:
         self.report.energies.append(float(value))
         return float(value)
 
+    def _evaluate_analytic(self, values: Dict[Parameter, float]) -> float:
+        """``shots=0``: exact ⟨observable⟩ as a host-side simulation.
+
+        Bypasses the controller run loop entirely — there is nothing to
+        stream, batch or post-process — and charges the statevector
+        pass as host compute instead.
+        """
+        self.report.evaluations += 1
+        if self.timing_only:
+            value = _surrogate_energy(self._observable, values)
+        else:
+            value, _ = self.sampler.expectation(
+                self._ansatz.bind(values), self._observable, 0
+            )
+        self._charge(
+            "host_compute",
+            self.workload.analytic_expectation_ps(
+                self._ansatz_gates, len(self._observable.terms), self.n_qubits
+            ),
+        )
+        self.report.energies.append(float(value))
+        return float(value)
+
     def charge_optimizer_step(self, n_params: int, method: str) -> None:
         """Host-side optimiser update between evaluations."""
         self._charge("host_compute", self.workload.optimizer_step_ps(n_params, method))
+
+    def charge_adjoint_gradient(self, n_params: int, energy: float) -> None:
+        """Account one adjoint-mode gradient evaluation.
+
+        The adjoint pass is pure host compute — one forward simulation
+        plus one reverse sweep, no quantum shots — so the charge is
+        independent of ``n_params`` and no device phases are touched.
+        The analytic energy from the forward pass lands in the report
+        exactly like a sampled evaluation's would.
+        """
+        self.report.evaluations += 1
+        self._charge(
+            "host_compute",
+            self.workload.adjoint_gradient_ps(self._ansatz_gates, self.n_qubits),
+        )
+        self.report.energies.append(float(energy))
 
     def finish(self) -> ExecutionReport:
         self.report.end_to_end_ps = self.now

@@ -48,6 +48,16 @@ class WorkloadCosts:
     #: (the Fig. 16b effect).
     batch_handling_ops: float = 600.0
 
+    # --- analytic (shots=0) paths --------------------------------------
+    #: statevector simulation: complex multiply-adds per gate per
+    #: amplitude (2x2 apply touches each amplitude with ~2 muls + 1 add).
+    statevector_ops_per_gate_amp: float = 6.0
+    #: adjoint-mode gradients run three statevector sweeps (forward,
+    #: observable apply, reverse with per-parameter contractions); the
+    #: reverse sweep pulls *two* vectors back through each gate, hence
+    #: the extra weight relative to a plain simulation pass.
+    adjoint_sweep_passes: float = 3.0
+
     # --- optimiser steps ----------------------------------------------
     gd_ops_per_param: float = 90.0
     spsa_ops_per_param: float = 140.0
@@ -94,6 +104,28 @@ class HostWorkloadModel:
     def batch_handling_ps(self) -> int:
         """Host-side cost of consuming one transmitted batch."""
         return self.core.compute_ps(self.costs.batch_handling_ops)
+
+    # --- analytic (shots=0) paths --------------------------------------
+    def analytic_expectation_ps(self, n_gates: int, n_terms: int, n_qubits: int) -> int:
+        """Exact ``shots=0`` expectation: one statevector pass plus a
+        parity contraction per Pauli term over all amplitudes."""
+        amps = 1 << max(0, n_qubits)
+        ops = max(1, n_gates) * amps * self.costs.statevector_ops_per_gate_amp
+        ops += max(1, n_terms) * amps
+        return self.core.compute_ps(ops)
+
+    def adjoint_gradient_ps(self, n_gates: int, n_qubits: int) -> int:
+        """Adjoint-mode analytic gradient: ``adjoint_sweep_passes``
+        statevector-equivalent sweeps over the compiled program —
+        independent of the parameter count (the whole point)."""
+        amps = 1 << max(0, n_qubits)
+        ops = (
+            self.costs.adjoint_sweep_passes
+            * max(1, n_gates)
+            * amps
+            * self.costs.statevector_ops_per_gate_amp
+        )
+        return self.core.compute_ps(ops)
 
     # --- optimiser ------------------------------------------------------
     def optimizer_step_ps(self, n_params: int, method: str) -> int:

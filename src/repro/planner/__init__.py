@@ -12,6 +12,7 @@ from repro.planner.planner import (
     ExecutionPlanner,
     PlanDecision,
     derive_backend_id,
+    supports_adjoint,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "ExecutionPlanner",
     "PlanDecision",
     "derive_backend_id",
+    "supports_adjoint",
 ]

@@ -236,6 +236,19 @@ class ExecutionPlanner:
         )
 
 
+def supports_adjoint(backend: str) -> bool:
+    """Feasibility gate for adjoint-mode differentiation.
+
+    Only the exact dense statevector keeps the full amplitude vector
+    the reverse sweep pulls back through each gate; tableau and
+    mean-field states cannot be differentiated this way.  Accepts raw
+    backend names and derived backend ids (a readout-noise suffix does
+    not change the simulator — though noisy jobs lose the adjoint path
+    upstream anyway, since the analytic pass models no readout errors).
+    """
+    return backend.startswith("statevector")
+
+
 def _stat_safe(name: str) -> str:
     """Counter-name-safe form of an arbitrary (possibly forced) backend
     string."""
@@ -259,4 +272,5 @@ __all__: Tuple[str, ...] = (
     "ExecutionPlanner",
     "PlanDecision",
     "derive_backend_id",
+    "supports_adjoint",
 )

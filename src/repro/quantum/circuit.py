@@ -127,6 +127,9 @@ class QuantumCircuit:
     def t(self, qubit: int) -> "QuantumCircuit":
         return self.append("t", (qubit,))
 
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append("tdg", (qubit,))
+
     def cz(self, q0: int, q1: int) -> "QuantumCircuit":
         return self.append("cz", (q0, q1))
 

@@ -81,7 +81,7 @@ def scratch_size(n_qubits: int) -> int:
 
 #: Gates whose matrix is diagonal for *every* parameter value; their
 #: compiled nodes skip the per-apply diagonality probe entirely.
-_ALWAYS_DIAGONAL = frozenset({"rz", "z", "s", "t", "sdg", "cz", "rzz"})
+_ALWAYS_DIAGONAL = frozenset({"rz", "z", "s", "t", "sdg", "tdg", "cz", "rzz"})
 
 _OFFDIAG_MASKS = {
     2: ~np.eye(2, dtype=bool),
@@ -173,7 +173,7 @@ def gate_census(circuit: QuantumCircuit) -> GateCensus:
         name = op.name
         if name in _CLIFFORD_FIXED:
             n_clifford += 1
-        elif name == "t":
+        elif name in ("t", "tdg"):
             n_t += 1
         elif name in _ROTATION_GATES:
             angle = float(op.params[0])

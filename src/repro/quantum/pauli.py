@@ -245,6 +245,22 @@ class MeasurementGroup:
                 circuit.h(qubit)
         return circuit
 
+    def expectation_from_probabilities(self, probs: np.ndarray) -> float:
+        """Exact ``sum coeff * <string>`` from a post-rotation
+        probability vector (the ``shots=0`` analytic path).
+
+        The group circuit already contains the basis change, so every
+        member is effectively Z-diagonal here: each string reduces to a
+        parity-mask dot product against ``probs`` — no sampling, no RNG
+        consumption.
+        """
+        indices = np.arange(probs.size, dtype=np.int64)
+        total = 0.0
+        for coeff, string in self.members:
+            signs = string.eigenvalues_for(indices)
+            total += coeff * float(probs @ signs)
+        return total
+
     def expectation_from_counts(self, counts: Mapping[int, int]) -> float:
         """Estimate ``sum coeff * <string>`` from post-rotation counts.
 

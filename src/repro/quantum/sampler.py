@@ -206,9 +206,19 @@ class Sampler:
         One execution per qubit-wise-commuting measurement group; the
         returned :class:`SampleResult` list lets the timing models
         charge the right number of circuit runs.
+
+        ``shots=0`` selects the analytic path: the exact statevector
+        expectation of the bare bound circuit, no sampling, no RNG
+        consumption (the empty result list signals "no device runs" to
+        the timing models).
         """
         if not circuit.is_bound:
             raise ValueError("bind the circuit before sampling")
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        if shots == 0:
+            state = self._exact.run(circuit)
+            return float(observable.expectation_statevector(state)), []
         groups = observable.grouped_qubitwise()
         value = observable.constant
         results: List[SampleResult] = []

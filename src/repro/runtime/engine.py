@@ -61,12 +61,19 @@ from repro.analysis.breakdown import ExecutionReport
 from repro.compiler.transpile import transpile
 from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerHang
 from repro.quantum.circuit import QuantumCircuit
-from repro.planner import DEFAULT_PLANNER, PlanDecision, derive_backend_id
+from repro.planner import (
+    DEFAULT_PLANNER,
+    PlanDecision,
+    derive_backend_id,
+    supports_adjoint,
+)
+from repro.quantum.adjoint import adjoint_gradient_batch, supports_program
 from repro.quantum.kernels import PROGRAM_CACHE, CompiledProgram, gate_census
 from repro.quantum.noise import ReadoutNoise
 from repro.quantum.parameters import Parameter
 from repro.quantum.pauli import MeasurementGroup, PauliSum
 from repro.quantum.sampler import DEFAULT_EXACT_LIMIT, Sampler
+from repro.quantum.statevector import StatevectorBackend
 from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.cache import (
     EvalCache,
@@ -107,6 +114,12 @@ class EvaluationSpec:
     #: telemetry/span attributes; the operative outputs are
     #: ``force_backend`` and ``backend_id`` above).
     plan: Optional[PlanDecision] = None
+    #: adjoint-mode differentiation inputs (statevector jobs whose
+    #: parameterised gates all have known Pauli generators): the bare
+    #: transpiled ansatz — no basis change, no measurement — compiled
+    #: once, plus the observable it differentiates.
+    adjoint_program: Optional[CompiledProgram] = None
+    observable: Optional[PauliSum] = None
 
 
 def build_spec(
@@ -163,11 +176,21 @@ def build_spec(
     # reused workloads) and what dedups compiles across repeated
     # ``prepare()`` calls in the parent.
     programs: Optional[List[CompiledProgram]] = None
+    adjoint_program: Optional[CompiledProgram] = None
+    adjoint_observable: Optional[PauliSum] = None
     if not reference and backend.startswith("statevector"):
         programs = [
             PROGRAM_CACHE.get_or_compile(circuit, order)
             for circuit in group_circuits
         ]
+        # Adjoint-mode gradients replay the *bare* ansatz (no basis
+        # change, no measurement) and differentiate the observable
+        # directly; only statevector jobs (planner feasibility) whose
+        # every parameterised gate has a known Pauli generator qualify.
+        bare = PROGRAM_CACHE.get_or_compile(transpile(ansatz), order)
+        if supports_adjoint(backend) and supports_program(bare):
+            adjoint_program = bare
+            adjoint_observable = observable
 
     return EvaluationSpec(
         parameters=order,
@@ -182,6 +205,8 @@ def build_spec(
         programs=programs,
         reference=reference,
         plan=plan,
+        adjoint_program=adjoint_program,
+        observable=adjoint_observable,
     )
 
 
@@ -195,7 +220,16 @@ def evaluate_spec(
     replay programs, each probe re-executes them with the fresh vector
     (no circuit traversal); otherwise every evaluation re-binds the
     group circuits and runs the sampler's circuit path.
+
+    ``shots=0`` selects the analytic path: exact expectations straight
+    from the post-rotation probability vectors, no sampling, no RNG
+    consumption (the seed is ignored).  Statevector jobs only —
+    approximate backends have no exact expectation to offer.
     """
+    if shots < 0:
+        raise ValueError(f"shots must be non-negative, got {shots}")
+    if shots == 0:
+        return _evaluate_spec_exact(spec, vector)
     sampler = Sampler(
         seed=seed,
         exact_limit=spec.exact_limit,
@@ -216,6 +250,35 @@ def evaluate_spec(
         result = sampler.run(bound, shots)
         if group.members:
             value += group.expectation_from_counts(result.counts)
+    return float(value)
+
+
+def _require_statevector(spec: EvaluationSpec) -> None:
+    if not spec.backend_id.startswith("statevector"):
+        raise ValueError(
+            f"shots=0 needs the exact statevector backend, "
+            f"job routed to {spec.backend_id!r}"
+        )
+
+
+def _evaluate_spec_exact(spec: EvaluationSpec, vector: np.ndarray) -> float:
+    """Analytic ``shots=0`` expectation at one slot vector."""
+    _require_statevector(spec)
+    value = spec.constant
+    if spec.programs is not None:
+        for group, program in zip(spec.groups, spec.programs):
+            if group.members:
+                state = program.execute(vector)
+                value += group.expectation_from_probabilities(
+                    state.probabilities()
+                )
+        return float(value)
+    backend = StatevectorBackend(reference=spec.reference)
+    values = {p: float(v) for p, v in zip(spec.parameters, vector)}
+    for group, circuit in zip(spec.groups, spec.group_circuits):
+        if group.members:
+            state = backend.run(circuit.bind(values))
+            value += group.expectation_from_probabilities(state.probabilities())
     return float(value)
 
 
@@ -246,7 +309,10 @@ def evaluate_spec_batch(
         raise ValueError(f"got {len(seeds)} seeds for {len(vectors)} vectors")
     if not len(vectors):
         return []
-    if spec.programs is None:
+    if spec.programs is None or shots == 0:
+        # The analytic path has no RNG to interleave, so the per-probe
+        # loop *is* the batch semantics (and the exact branch of
+        # evaluate_spec already replays compiled programs when present).
         return [
             evaluate_spec(spec, vector, shots, seed)
             for vector, seed in zip(vectors, seeds)
@@ -270,6 +336,34 @@ def evaluate_spec_batch(
             for k, result in enumerate(results):
                 totals[k] += group.expectation_from_counts(result.counts)
     return [float(total) for total in totals]
+
+
+def evaluate_spec_gradients(
+    spec: EvaluationSpec, vectors: Sequence[np.ndarray]
+) -> Tuple[List[float], List[np.ndarray]]:
+    """Adjoint-mode energies and gradients for a batch of slot vectors.
+
+    One forward pass and one reverse sweep per vector — independent of
+    the parameter count — over the spec's bare ansatz program.  Shared
+    verbatim by the serial path and the pool workers, so the two are
+    bit-identical.  Raises :class:`ValueError` when the spec carries no
+    adjoint program (non-statevector routing, reference mode, or a gate
+    without a known generator); callers that can fall back to
+    parameter-shift should check ``spec.adjoint_program`` first.
+    """
+    if spec.adjoint_program is None or spec.observable is None:
+        raise ValueError("spec carries no adjoint program")
+    batch = np.asarray(
+        [np.asarray(vector, dtype=np.float64) for vector in vectors],
+        dtype=np.float64,
+    )
+    energies, grads = adjoint_gradient_batch(
+        spec.adjoint_program, spec.observable, batch
+    )
+    return (
+        [float(energy) for energy in energies],
+        [np.asarray(row, dtype=np.float64) for row in grads],
+    )
 
 
 class EvaluationEngine:
@@ -455,6 +549,99 @@ class EvaluationEngine:
             args={"batch": len(vectors), "shots": shots},
         )
         return out
+
+    def evaluate_gradients(
+        self,
+        parameters: Sequence[Parameter],
+        vectors: Sequence[np.ndarray],
+        shots: int = 0,
+    ) -> Optional[Tuple[List[float], List[np.ndarray]]]:
+        """Adjoint-mode energies and gradients at a batch of vectors.
+
+        Returns ``None`` when the adjoint path cannot serve this
+        workload — sampled shots requested (the adjoint pass is
+        analytic by construction), non-statevector routing, reference
+        mode, a parameterised gate without a known generator, or a
+        timing-only platform — so the caller can fall back to
+        parameter-shift.  Each returned energy is the exact
+        ⟨observable⟩ from that gradient's own forward pass; the
+        platform is charged one host-compute adjoint sweep per vector
+        through its ``charge_adjoint_gradient`` hook when it has one.
+        ``vectors`` are ordered by ``parameters``; gradients come back
+        in the same order.
+        """
+        if shots != 0:
+            return None
+        spec = self._spec
+        if (
+            spec is None
+            or spec.adjoint_program is None
+            or spec.observable is None
+            or not self._functional_platform()
+        ):
+            return None
+        start_ps = self._trace_start()
+        order = spec.parameters
+        index = {id(p): i for i, p in enumerate(parameters)}
+        try:
+            perm = [index[id(p)] for p in order]
+        except KeyError:
+            missing = next(p for p in order if id(p) not in index)
+            raise KeyError(
+                f"no value bound for circuit parameter {missing.name!r}"
+            ) from None
+        identity = perm == list(range(len(perm)))
+        arranged = []
+        for vector in vectors:
+            array = np.asarray(vector, dtype=np.float64)
+            arranged.append(array if identity else array[perm])
+        energies, grad_slots = self._run_gradient_tasks(arranged)
+        if identity:
+            grads = grad_slots
+        else:
+            grads = []
+            for row in grad_slots:
+                unpermuted = np.zeros(len(parameters), dtype=np.float64)
+                unpermuted[perm] = row
+                grads.append(unpermuted)
+        charge = getattr(self.platform, "charge_adjoint_gradient", None)
+        if charge is not None:
+            for energy in energies:
+                charge(len(order), float(energy))
+        self.stats.counter("adjoint_gradients").increment(len(vectors))
+        self._trace_span(
+            f"adjoint_gradients[{self._eval_index}]",
+            start_ps,
+            args={"batch": len(vectors)},
+        )
+        return energies, grads
+
+    def _run_gradient_tasks(
+        self, vectors: List[np.ndarray]
+    ) -> Tuple[List[float], List[np.ndarray]]:
+        """Pool-first adjoint batch with the usual serial fallback.
+
+        Gradient batches skip the EvalCache — a gradient row is P+1
+        floats keyed by the same content address as its energy, and
+        optimisers never revisit a vector within a run — but share the
+        breaker accounting with evaluation batches, so a crashed pool
+        degrades both paths together.
+        """
+        if self.max_workers > 1 and self.breaker.allow():
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    energies, grads = pool.run_gradients(vectors)
+                    self.breaker.record_success()
+                    self.stats.counter("parallel_gradients").increment(
+                        len(vectors)
+                    )
+                    self._worker_stat_snapshot = pool.worker_stats()
+                    return energies, grads
+                except (PoolBroken, BrokenProcessPool):
+                    self._record_pool_failure(0)
+        self.stats.counter("serial_gradients").increment(len(vectors))
+        return evaluate_spec_gradients(self._spec, vectors)
 
     def _evaluate_many(
         self, values_list: Sequence[Dict[Parameter, float]], shots: int

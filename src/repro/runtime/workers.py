@@ -379,6 +379,52 @@ class SharedMemoryPool:
         self.dispatch_batch(vectors, shots, seeds)
         return self.collect_batch()
 
+    def run_gradients(
+        self, vectors: Sequence[np.ndarray]
+    ) -> Tuple[List[float], List[np.ndarray]]:
+        """Adjoint-mode energies + gradients for a batch, synchronously.
+
+        The segment needs no new regions: each worker overwrites its
+        exclusive slice of the ``vectors`` rows with the gradient rows
+        (one slot per column, exactly the input width) and drops the
+        forward-pass energy into ``results`` — floats in, floats out,
+        same as an evaluation batch.
+        """
+        if self.closed:
+            raise PoolBroken("pool is closed")
+        if self._inflight is not None:
+            raise RuntimeError(
+                "a batch is already in flight; collect_batch() it first"
+            )
+        rows = len(vectors)
+        if rows == 0:
+            return [], []
+        self._ensure_capacity(rows)
+        views: _Views = self._state["views"]
+        for index, vector in enumerate(vectors):
+            array = np.asarray(vector, dtype=np.float64)
+            views.vectors[index, : array.size] = array
+        dispatched: List[int] = []
+        for worker, (start, stop) in self._chunks(rows):
+            self._send(worker, ("grad", start, stop))
+            dispatched.append(worker)
+        failure: Optional[Tuple[int, str]] = None
+        for worker in dispatched:
+            reply = self._recv(worker)
+            if reply[0] == "error":
+                failure = failure or (worker, reply[1])
+            else:
+                self._worker_stats[worker] = reply[3]
+        if failure is not None:
+            raise PoolBroken(f"worker {failure[0]} failed:\n{failure[1]}")
+        self.batches += 1
+        energies = [float(value) for value in views.results[:rows]]
+        grads = [
+            np.array(views.vectors[row, : self.n_slots], dtype=np.float64)
+            for row in range(rows)
+        ]
+        return energies, grads
+
     def _chunks(self, rows: int) -> List[Tuple[int, Tuple[int, int]]]:
         """Balanced contiguous slices, at most one per worker."""
         base, extra = divmod(rows, self.n_workers)
@@ -469,6 +515,9 @@ def _adopt_spec(spec, replay_budget: int):
             else program
             for program in spec.programs
         ]
+    adjoint = getattr(spec, "adjoint_program", None)
+    if adjoint is not None and adjoint.key is not None:
+        spec.adjoint_program = PROGRAM_CACHE.adopt(adjoint.key, adjoint)
     return spec
 
 
@@ -512,6 +561,22 @@ def _worker_main(conn, shm_name: str, capacity: int, n_cols: int) -> None:
                     seeds = [int(seed) for seed in views.seeds[start:stop]]
                     values = evaluate_spec_batch(spec, vectors, shots, seeds)
                     views.results[start:stop] = values
+                    conn.send(("done", start, stop, _stats_snapshot()))
+                elif kind == "grad":
+                    from repro.runtime.engine import evaluate_spec_gradients
+
+                    if spec is None:
+                        raise RuntimeError("grad before spec initialisation")
+                    start, stop = message[1], message[2]
+                    n_slots = len(spec.parameters)
+                    vectors = [
+                        np.array(views.vectors[row, :n_slots], dtype=np.float64)
+                        for row in range(start, stop)
+                    ]
+                    energies, grads = evaluate_spec_gradients(spec, vectors)
+                    views.results[start:stop] = energies
+                    for offset, grad in enumerate(grads):
+                        views.vectors[start + offset, :n_slots] = grad
                     conn.send(("done", start, stop, _stats_snapshot()))
                 else:  # pragma: no cover - protocol is closed
                     raise RuntimeError(f"unknown message {kind!r}")

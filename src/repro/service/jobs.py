@@ -102,8 +102,8 @@ class JobSpec:
             )
         if self.n_qubits <= 0:
             raise ValueError(f"n_qubits must be positive, got {self.n_qubits}")
-        if self.shots <= 0:
-            raise ValueError(f"shots must be positive, got {self.shots}")
+        if self.shots < 0:
+            raise ValueError(f"shots must be non-negative, got {self.shots}")
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
 

@@ -72,6 +72,7 @@ ERR_EVALUATION_FAILED = "evaluation_failed"
 ERR_MALFORMED = "malformed_open"
 ERR_EMPTY_BATCH = "empty_batch"
 ERR_BAD_VECTOR = "bad_vector"
+ERR_ADJOINT_UNSUPPORTED = "adjoint_unsupported"
 
 
 class SessionError(Exception):
@@ -115,6 +116,12 @@ class Session:
     ) -> List[float]:
         with self.lock:
             return self.engine.evaluate_vectors(self.parameters, vectors, shots)
+
+    def evaluate_gradients(
+        self, vectors: Sequence[np.ndarray], shots: int
+    ) -> Optional[Tuple[List[float], List[np.ndarray]]]:
+        with self.lock:
+            return self.engine.evaluate_gradients(self.parameters, vectors, shots)
 
     def handle_dict(self, lease_timeout_s: float) -> Dict[str, object]:
         """The OPENED payload a client needs to drive the session."""
@@ -340,6 +347,51 @@ class SessionManager:
         self.stats.counter("stream_batches").increment()
         self.stats.counter("stream_vectors").increment(len(vectors))
         return values
+
+    def gradients(
+        self,
+        session_id: str,
+        vectors: Sequence[np.ndarray],
+        shots: int = 0,
+    ) -> Tuple[List[float], List[np.ndarray]]:
+        """Validate + run one streamed adjoint-gradient batch.
+
+        ``shots`` is passed through unchanged (no session-default
+        substitution): the adjoint pass is analytic, so only
+        ``shots=0`` is servable — anything else, or a workload without
+        an adjoint path, fails with ``adjoint_unsupported`` while the
+        session stays open (clients fall back to EVAL probes).
+        """
+        session = self.checkout(session_id)
+        batch = self.validate_batch(session, vectors)
+        backend = self.health.backend(session.spec.platform)
+        try:
+            result = session.evaluate_gradients(batch, shots)
+        except Exception as exc:
+            backend.record_failure(f"{type(exc).__name__}: {exc}")
+            self.stats.counter("stream_errors").increment()
+            with self._lock:
+                if session.state == "open":
+                    session.state = "failed"
+                    self._release(session)
+            raise SessionError(
+                ERR_EVALUATION_FAILED, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        if result is None:
+            # Not a backend fault: the workload simply has no adjoint
+            # path (sampled shots, non-statevector routing, unknown
+            # generator).  The session stays healthy and open.
+            raise SessionError(
+                ERR_ADJOINT_UNSUPPORTED,
+                f"session {session_id} cannot serve adjoint gradients "
+                f"(shots={shots}, backend={session.backend_id})",
+            )
+        backend.record_success()
+        session.batches += 1
+        session.vectors_evaluated += len(batch)
+        self.stats.counter("stream_gradient_batches").increment()
+        self.stats.counter("stream_gradient_vectors").increment(len(batch))
+        return result
 
     def close(self, session_id: str) -> Dict[str, object]:
         """Release one session; idempotent on already-dead sessions."""
@@ -578,6 +630,20 @@ class SessionServer:
                 vectors, shots = wire.unpack_eval(body)
                 values = self.manager.evaluate(session_id, list(vectors), shots)
                 return (wire.KIND_VALUE, wire.pack_values(values)), session_id, False
+            if kind == wire.KIND_GRAD:
+                if session_id is None:
+                    raise SessionError(
+                        ERR_UNKNOWN_SESSION, "GRAD before OPEN on this stream"
+                    )
+                vectors, shots = wire.unpack_eval(body)
+                energies, grads = self.manager.gradients(
+                    session_id, list(vectors), shots
+                )
+                return (
+                    (wire.KIND_GRADS, wire.pack_grads(energies, grads)),
+                    session_id,
+                    False,
+                )
             if kind == wire.KIND_CLOSE:
                 stats: Dict[str, object] = {}
                 if session_id is not None:

@@ -24,6 +24,10 @@ Payload layouts after the kind byte::
     EVAL    <u32 shots> <u32 n_vectors> <u32 n_params> + f64[v*p]
             (shots == 0 means "the session's default")
     VALUE   f64[n_vectors] energies, request order
+    GRAD    EVAL-shaped body (shots == 0: the adjoint pass is
+            analytic; any other value is rejected by the server)
+    GRADS   <u32 n_vectors> <u32 n_params> + f64[v*(1+p)] rows of
+            (energy, gradient...), request order
     ERROR   canonical JSON {"code": str, "message": str}
     CLOSE   empty
     CLOSED  canonical JSON session stats
@@ -62,11 +66,15 @@ KIND_VALUE = 0x04   #: server -> client: energies for one EVAL
 KIND_ERROR = 0x05   #: server -> client: structured failure
 KIND_CLOSE = 0x06   #: client -> server: release the session
 KIND_CLOSED = 0x07  #: server -> client: final session stats
+KIND_GRAD = 0x08    #: client -> server: adjoint-gradient vector batch
+KIND_GRADS = 0x09   #: server -> client: energies + gradients for one GRAD
 
 _KNOWN_KINDS = frozenset(
     (KIND_OPEN, KIND_OPENED, KIND_EVAL, KIND_VALUE, KIND_ERROR,
-     KIND_CLOSE, KIND_CLOSED)
+     KIND_CLOSE, KIND_CLOSED, KIND_GRAD, KIND_GRADS)
 )
+
+_GRADS_HEADER = struct.Struct("<II")
 
 
 class StreamError(ValueError):
@@ -140,6 +148,47 @@ def unpack_values(body: bytes) -> List[float]:
     if len(body) % 8:
         raise StreamError(f"VALUE body of {len(body)} bytes is not doubles")
     return [float(v) for v in np.frombuffer(body, dtype="<f8")]
+
+
+def pack_grads(
+    energies: Sequence[float], grads: Sequence[np.ndarray]
+) -> bytes:
+    """GRADS body: per-vector rows of ``(energy, gradient...)``."""
+    if len(energies) != len(grads):
+        raise StreamError(
+            f"got {len(energies)} energies for {len(grads)} gradients"
+        )
+    if not len(grads):
+        raise StreamError("a GRADS frame needs at least one row")
+    n_params = int(np.asarray(grads[0]).size)
+    flat: List[float] = []
+    for energy, grad in zip(energies, grads):
+        array = np.asarray(grad, dtype=np.float64)
+        if array.size != n_params:
+            raise StreamError(
+                f"ragged gradient batch: {array.size} params after {n_params}"
+            )
+        flat.append(float(energy))
+        flat.extend(float(v) for v in array)
+    return _GRADS_HEADER.pack(len(grads), n_params) + pack_doubles(flat)
+
+
+def unpack_grads(body: bytes) -> Tuple[List[float], List[np.ndarray]]:
+    """Inverse of :func:`pack_grads` → ``(energies, gradients)``."""
+    if len(body) < _GRADS_HEADER.size:
+        raise StreamError("GRADS body shorter than its header")
+    n_vectors, n_params = _GRADS_HEADER.unpack_from(body)
+    expected = _GRADS_HEADER.size + 8 * n_vectors * (1 + n_params)
+    if n_vectors < 1 or len(body) != expected:
+        raise StreamError(
+            f"GRADS body of {len(body)} bytes does not hold "
+            f"{n_vectors}x(1+{n_params}) doubles"
+        )
+    rows = np.frombuffer(body, dtype="<f8", offset=_GRADS_HEADER.size)
+    rows = rows.reshape(n_vectors, 1 + n_params)
+    energies = [float(value) for value in rows[:, 0]]
+    grads = [row.copy() for row in rows[:, 1:]]
+    return energies, grads
 
 
 def pack_json(obj: Dict[str, object]) -> bytes:
@@ -290,6 +339,34 @@ class SessionClient:
                 f"{len(vectors)} vectors"
             )
         return values
+
+    def gradients(
+        self, vectors: Sequence[np.ndarray], shots: int = 0
+    ) -> Tuple[List[float], List[np.ndarray]]:
+        """Stream one adjoint-gradient batch; block for its rows.
+
+        Returns ``(energies, gradients)`` in request order — each
+        energy is the analytic forward-pass value at its vector.  A
+        session whose workload has no adjoint path answers with a
+        structured ``adjoint_unsupported`` ERROR; the session stays
+        usable (fall back to :meth:`evaluate` probes).
+        """
+        self._sock.sendall(
+            self._writer.encode(KIND_GRAD, pack_eval(vectors, shots))
+        )
+        _seq, kind, reply = self._recv_frame()
+        if kind == KIND_ERROR:
+            code, message = unpack_error(reply)
+            raise StreamRemoteError(code, message)
+        if kind != KIND_GRADS:
+            raise StreamError(f"expected GRADS, got kind {kind}")
+        energies, grads = unpack_grads(reply)
+        if len(energies) != len(vectors):
+            raise StreamError(
+                f"server returned {len(energies)} gradient rows for "
+                f"{len(vectors)} vectors"
+            )
+        return energies, grads
 
     def close(self) -> Optional[Dict[str, object]]:
         """Release the session; returns the server's final stats."""

@@ -74,10 +74,12 @@ def register_kernels(registry: MetricsRegistry, prefix: str = "") -> None:
     """Publish the process-wide vectorized-kernel counters: gate
     applies/fusions, diagonal fast-path hits, and the compiled-program
     replay cache (:data:`repro.quantum.kernels.PROGRAM_CACHE`)."""
+    from repro.quantum.adjoint import ADJOINT_STATS
     from repro.quantum.kernels import KERNEL_STATS, PROGRAM_CACHE
 
     register_stat_group(registry, KERNEL_STATS, prefix)
     register_stat_group(registry, PROGRAM_CACHE.stats, prefix)
+    register_stat_group(registry, ADJOINT_STATS, prefix)
 
     def collect() -> Dict[str, float]:
         return {

@@ -68,8 +68,8 @@ class HybridRunner:
         shots: int = 500,
         iterations: int = 10,
     ) -> None:
-        if shots <= 0:
-            raise ValueError(f"shots must be positive, got {shots}")
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
         if iterations <= 0:
             raise ValueError(f"iterations must be positive, got {iterations}")
         self.platform = platform
@@ -125,11 +125,28 @@ class HybridRunner:
             def evaluate_many(vectors: Sequence[np.ndarray]) -> List[float]:
                 return platform_many([bind(v) for v in vectors], self.shots)
 
+        evaluate_gradient = None
+        platform_gradients = getattr(self.platform, "evaluate_gradients", None)
+        if callable(platform_gradients):
+            # Adjoint fast path (repro.runtime.EvaluationEngine): one
+            # analytic pass yields energy + full gradient.  A ``None``
+            # reply means the platform cannot serve this workload
+            # adjointly and the optimizer falls back to its probes.
+            def evaluate_gradient(vector: np.ndarray):
+                result = platform_gradients(self.parameters, [vector], self.shots)
+                if result is None:
+                    return None
+                energies, grads = result
+                return float(energies[0]), np.asarray(grads[0], dtype=np.float64)
+
         history: List[float] = []
         cost = float("nan")
         for _ in range(self.iterations):
             outcome = self.optimizer.run_iteration(
-                params, evaluate, evaluate_many=evaluate_many
+                params,
+                evaluate,
+                evaluate_many=evaluate_many,
+                evaluate_gradient=evaluate_gradient,
             )
             params, cost = outcome.params, outcome.cost
             history.append(cost)

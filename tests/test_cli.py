@@ -35,9 +35,9 @@ class TestParserValidation:
             ["run", "qaoa", "--workers", "two"],
             ["run", "qaoa", "--cache-size", "-1"],
             ["run", "qaoa", "--qubits", "0"],
-            ["run", "qaoa", "--shots", "0"],
+            ["run", "qaoa", "--shots", "-1"],
             ["run", "qaoa", "--iterations", "-1"],
-            ["submit", "qaoa", "--shots", "0"],
+            ["submit", "qaoa", "--shots", "-1"],
             ["submit", "qaoa", "--qubits", "-4"],
             ["serve", "--jobs", "x.json", "--workers", "0"],
             ["serve", "--jobs", "x.json", "--cache-size", "-1"],
@@ -60,6 +60,10 @@ class TestParserValidation:
             ["run", "qaoa", "--workers", "1", "--cache-size", "0"]
         )
         assert args.workers == 1 and args.cache_size == 0
+        # shots=0 is the analytic-expectation path, valid since the
+        # adjoint-gradient work.
+        args = build_parser().parse_args(["run", "qaoa", "--shots", "0"])
+        assert args.shots == 0 and args.gradient == "shift"
         args = build_parser().parse_args(["serve", "--jobs", "x.json"])
         assert args.workers == 2 and args.cache_size == 4096
 

@@ -183,10 +183,11 @@ class TestRunner:
 
     def test_runner_argument_validation(self):
         wl = qaoa_workload(6, n_layers=1)
+        # shots=0 is the analytic-expectation path; only negatives die.
         with pytest.raises(ValueError):
             HybridRunner(
                 QtenonSystem(6), wl.ansatz, wl.parameters, wl.observable,
-                Spsa(seed=0), shots=0,
+                Spsa(seed=0), shots=-1,
             )
         with pytest.raises(ValueError):
             HybridRunner(

@@ -31,12 +31,13 @@ class TestLifecycle:
         with pytest.raises(ValueError, match="qubits"):
             system.prepare(wl.ansatz, wl.observable)
 
-    def test_zero_shots_rejected(self):
+    def test_negative_shots_rejected(self):
+        # shots=0 is the analytic-expectation path; only negatives die.
         wl = qaoa_workload(4, n_layers=1)
         system = QtenonSystem(4)
         system.prepare(wl.ansatz, wl.observable)
         with pytest.raises(ValueError):
-            system.evaluate({p: 0.0 for p in wl.parameters}, 0)
+            system.evaluate({p: 0.0 for p in wl.parameters}, -1)
 
     def test_bad_overlap_mode_rejected(self):
         with pytest.raises(ValueError, match="overlap_mode"):

@@ -649,7 +649,7 @@ class TestServiceAPI:
         with pytest.raises(ValueError, match="unknown workload"):
             JobSpec(workload="grover")
         with pytest.raises(ValueError, match="shots"):
-            JobSpec(shots=0)
+            JobSpec(shots=-1)
         with pytest.raises(ValueError, match="unknown platform"):
             JobSpec(platform="ibm")
         with pytest.raises(ValueError, match="workers"):
